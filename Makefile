@@ -1,0 +1,39 @@
+# PLB-HeC reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test race bench repro quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every evaluation artifact at paper scale (10 seeds) with CSVs.
+repro:
+	$(GO) run ./cmd/plbbench -csv results
+
+# Fast end-to-end pass over every experiment.
+quick:
+	$(GO) run ./cmd/plbbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/livematmul
+	$(GO) run ./examples/blackscholes
+	$(GO) run ./examples/grn
+	$(GO) run ./examples/rebalance
+
+clean:
+	rm -rf results

@@ -1,0 +1,243 @@
+// Package plbhec_bench benchmarks every table and figure of the paper's
+// evaluation (§V): each Benchmark regenerates one artifact's data on the
+// simulated Table I cluster. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Per-iteration metrics are reported with b.ReportMetric: simulated
+// makespans in sim-s (virtual seconds), speedups as ratios. For the full
+// multi-seed sweeps with tables and CSVs, use cmd/plbbench instead.
+package plbhec_test
+
+import (
+	"io"
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/device"
+	"plbhec/internal/expt"
+	"plbhec/internal/ipm"
+	"plbhec/internal/metrics"
+	"plbhec/internal/profile"
+	"plbhec/internal/starpu"
+)
+
+// simulate runs one scenario once and returns the report.
+func simulate(b *testing.B, kind expt.AppKind, size int64, machines int, name expt.SchedName, seed int64) *starpu.Report {
+	b.Helper()
+	app := expt.MakeApp(kind, size)
+	clu := cluster.TableI(cluster.Config{
+		Machines: machines, Seed: seed, NoiseSigma: cluster.DefaultNoiseSigma,
+	})
+	s, err := expt.NewScheduler(name, expt.InitialBlock(kind, size, machines))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkTable1Catalog measures cluster construction from the Table I
+// machine catalog (E1).
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clu := cluster.TableI(cluster.Config{Machines: 4, Seed: int64(i)})
+		if len(clu.PUs()) != 8 {
+			b.Fatal("bad cluster")
+		}
+	}
+}
+
+// BenchmarkFig1ModelFit measures the Fig. 1 pipeline: sampling a device's
+// time curve and fitting the paper's F_p model (E2).
+func BenchmarkFig1ModelFit(b *testing.B) {
+	app := apps.NewMatMul(apps.MatMulConfig{N: 32768})
+	prof := app.Profile()
+	dev := device.New(device.TeslaK20c(), 1, 0.015)
+	for i := 0; i < b.N; i++ {
+		s := profile.NewSampler(1)
+		for x := 8.0; x <= 8192; x *= 2 {
+			s.Add(0, x, dev.ExecSeconds(prof, x), 0)
+		}
+		ms, err := s.FitAll(65536)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms.MinR2 < profile.GoodFitR2 {
+			b.Fatalf("fit below the paper's bar: %g", ms.MinR2)
+		}
+	}
+}
+
+// BenchmarkFig2PhaseTrace runs the phase-annotated PLB-HeC execution that
+// reproduces the structure of Fig. 2 (E3).
+func BenchmarkFig2PhaseTrace(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep := simulate(b, expt.MM, 16384, 4, expt.PLBHeC, int64(i))
+		last = rep.Makespan
+	}
+	b.ReportMetric(last, "sim-s/op")
+}
+
+// BenchmarkFig3Rebalance runs the mid-run-slowdown scenario behind Fig. 3:
+// a device degrades and the threshold-triggered rebalance must fire (E4).
+func BenchmarkFig3Rebalance(b *testing.B) {
+	var rebalances float64
+	for i := 0; i < b.N; i++ {
+		app := expt.MakeApp(expt.MM, 32768)
+		clu := cluster.TableI(cluster.Config{Machines: 2, Seed: int64(i), NoiseSigma: cluster.DefaultNoiseSigma})
+		sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+		gpu := clu.Machines[0].GPUs[0]
+		if err := sess.ScheduleAt(8, func() { gpu.SetSpeedFactor(0.35) }); err != nil {
+			b.Fatal(err)
+		}
+		s, err := expt.NewScheduler(expt.PLBHeC, expt.InitialBlock(expt.MM, 32768, 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sess.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rebalances = rep.SchedStats["rebalances"]
+	}
+	b.ReportMetric(rebalances, "rebalances/op")
+}
+
+// fig45 benchmarks one scheduler on one (app, size) cell of Figs. 4–5 with
+// the full 4-machine cluster, reporting the simulated makespan.
+func fig45(b *testing.B, kind expt.AppKind, size int64, name expt.SchedName) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep := simulate(b, kind, size, 4, name, int64(i))
+		last = rep.Makespan
+	}
+	b.ReportMetric(last, "sim-s/op")
+}
+
+// BenchmarkFig4MM covers the matrix-multiplication panel of Fig. 4 (E5).
+func BenchmarkFig4MM(b *testing.B) {
+	for _, size := range []int64{4096, 16384, 65536} {
+		for _, name := range expt.PaperSchedulers() {
+			b.Run(benchName(size, name), func(b *testing.B) { fig45(b, expt.MM, size, name) })
+		}
+	}
+}
+
+// BenchmarkFig4GRN covers the GRN panel of Fig. 4 (E5).
+func BenchmarkFig4GRN(b *testing.B) {
+	for _, size := range []int64{60000, 140000} {
+		for _, name := range expt.PaperSchedulers() {
+			b.Run(benchName(size, name), func(b *testing.B) { fig45(b, expt.GRN, size, name) })
+		}
+	}
+}
+
+// BenchmarkFig5BlackScholes covers Fig. 5 (E6).
+func BenchmarkFig5BlackScholes(b *testing.B) {
+	for _, size := range []int64{10000, 500000} {
+		for _, name := range expt.PaperSchedulers() {
+			b.Run(benchName(size, name), func(b *testing.B) { fig45(b, expt.BS, size, name) })
+		}
+	}
+}
+
+// BenchmarkFig6Distribution regenerates the block-size distribution data of
+// Fig. 6 and reports the big-GPU share PLB-HeC computes (E7).
+func BenchmarkFig6Distribution(b *testing.B) {
+	var gpuShare float64
+	for i := 0; i < b.N; i++ {
+		rep := simulate(b, expt.MM, 65536, 4, expt.PLBHeC, int64(i))
+		d := metrics.ModelingDistribution(rep)
+		gpuShare = d[1] + d[3] + d[5] + d[7]
+	}
+	b.ReportMetric(gpuShare, "gpu-share")
+}
+
+// BenchmarkFig7Idleness regenerates the idleness comparison of Fig. 7 and
+// reports PLB-HeC's mean idle fraction (E8).
+func BenchmarkFig7Idleness(b *testing.B) {
+	var idle float64
+	for i := 0; i < b.N; i++ {
+		rep := simulate(b, expt.MM, 65536, 4, expt.PLBHeC, int64(i))
+		idle = metrics.MeanIdle(rep)
+	}
+	b.ReportMetric(idle, "idle-frac")
+}
+
+// BenchmarkIPMSolve measures the interior-point solver on an 8-unit fitted
+// system — the paper's reported scheduler overhead (E9: 170 ms ± 32 ms with
+// IPOPT on their master node).
+func BenchmarkIPMSolve(b *testing.B) {
+	// A realistic system: curves from an actual PLB-HeC modeling phase.
+	app := expt.MakeApp(expt.MM, 65536)
+	clu := cluster.TableI(cluster.Config{Machines: 4, Seed: 1, NoiseSigma: 0.015})
+	sampler := profile.NewSampler(len(clu.PUs()))
+	for puIdx, pu := range clu.PUs() {
+		for x := 16.0; x <= 2048; x *= 2 {
+			sampler.Add(puIdx, x, pu.Dev.ExecSeconds(app.Profile(), x),
+				pu.NominalTransferSeconds(x*app.Profile().TransferBytesPerUnit))
+		}
+	}
+	ms, err := sampler.FitAll(65536)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := ipm.Problem{Curves: ms.Curves(), Total: 65536}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ipm.Solve(prob, ipm.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UsedFallback {
+			b.Fatal("unexpected fallback")
+		}
+	}
+}
+
+// BenchmarkHeadlineSpeedup reproduces the §V.a headline cell (E10) and
+// reports PLB-HeC's speedup over greedy.
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		plb := simulate(b, expt.MM, 65536, 4, expt.PLBHeC, int64(i))
+		greedy := simulate(b, expt.MM, 65536, 4, expt.Greedy, int64(i))
+		speedup = greedy.Makespan / plb.Makespan
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkFullEvaluation runs the complete quick-mode experiment suite —
+// everything cmd/plbbench regenerates — as one benchmark op.
+func BenchmarkFullEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := expt.Options{Out: io.Discard, Quick: true, Seeds: 2}
+		if err := expt.RunAll(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(size int64, name expt.SchedName) string {
+	return string(name) + "-" + itoa(size)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

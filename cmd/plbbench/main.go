@@ -1,0 +1,53 @@
+// Command plbbench regenerates the paper's evaluation artifacts — every
+// table and figure of §V — on the simulated Table I cluster. Results print
+// as aligned text tables and, with -csv, are also written as CSV series.
+//
+// Usage:
+//
+//	plbbench                  # run every experiment at paper scale
+//	plbbench -exp fig4        # one experiment
+//	plbbench -quick           # reduced sizes and repetitions
+//	plbbench -csv results     # also emit CSV files under results/
+//	plbbench -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plbhec/internal/expt"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID to run (default: all); see -list")
+		csvDir = flag.String("csv", "", "directory for CSV output (empty: none)")
+		seeds  = flag.Int("seeds", 0, "repetitions per cell (0: the paper's 10)")
+		quick  = flag.Bool("quick", false, "reduced input sizes and repetitions")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-10s %-24s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		return
+	}
+
+	opts := expt.Options{Out: os.Stdout, CSVDir: *csvDir, Seeds: *seeds, Quick: *quick}
+	var err error
+	if *exp == "" {
+		err = expt.RunAll(opts)
+	} else if e, ok := expt.Get(*exp); ok {
+		err = e.Run(opts)
+	} else {
+		fmt.Fprintf(os.Stderr, "plbbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+// Command plbsim runs a single scheduling scenario on the simulated
+// heterogeneous cluster and reports the outcome: makespan, per-unit usage,
+// the computed block distribution, and optionally an ASCII Gantt chart.
+//
+// Usage:
+//
+//	plbsim -app mm -size 65536 -machines 4 -sched plb-hec
+//	plbsim -app bs -size 500000 -machines 4 -sched hdss -gantt
+//	plbsim -app grn -size 100000 -sched greedy -seed 3
+//	plbsim -app mm -size 65536 -sched all          # compare every policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/expt"
+	"plbhec/internal/metrics"
+	"plbhec/internal/starpu"
+	"plbhec/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "mm", "application: mm | grn | bs")
+		size     = flag.Int64("size", 16384, "input size (matrix order, genes, options)")
+		machines = flag.Int("machines", 4, "Table I machines to use (1-4)")
+		schedStr = flag.String("sched", "plb-hec", "scheduler: plb-hec | hdss | acosta | greedy | oracle")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		block    = flag.Float64("block", 0, "initial block size (0: per-application default)")
+		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart")
+		dual     = flag.Bool("dualgpu", false, "enable the second GPU on dual boards")
+		traceOut = flag.String("trace", "", "write a JSONL event trace to this file")
+		detail   = flag.Bool("breakdown", false, "print per-unit time breakdown (exec/transfer/queue/idle)")
+	)
+	flag.Parse()
+
+	kind := expt.AppKind(*app)
+
+	if *schedStr == "all" {
+		compareAll(kind, *size, *machines, *seed, *block, *dual)
+		return
+	}
+	a := expt.MakeApp(kind, *size)
+	clu := cluster.TableI(cluster.Config{
+		Machines: *machines, Seed: *seed,
+		NoiseSigma: cluster.DefaultNoiseSigma, DualGPU: *dual,
+	})
+	b := *block
+	if b <= 0 {
+		b = expt.InitialBlock(kind, *size, *machines)
+	}
+	s, err := expt.NewScheduler(expt.SchedName(*schedStr), b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+		os.Exit(2)
+	}
+	sess := starpu.NewSimSession(clu, a, starpu.SimConfig{})
+	rep, err := sess.Run(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app=%s scheduler=%s machines=%d seed=%d initialBlock=%.0f\n",
+		a.Name(), rep.SchedulerName, *machines, *seed, b)
+	fmt.Printf("makespan: %.3fs  tasks: %d  mean idleness: %.1f%%\n",
+		rep.Makespan, len(rep.Records), 100*metrics.MeanIdle(rep))
+	fmt.Println("\nper-unit usage:")
+	for _, u := range metrics.Usage(rep) {
+		fmt.Printf("  %-20s busy %8.3fs  idle %5.1f%%  tasks %4d  units %8d\n",
+			u.Name, u.BusySeconds, 100*u.IdleFraction, u.Tasks, u.Units)
+	}
+	if d := metrics.ModelingDistribution(rep); d != nil {
+		fmt.Println("\nblock-size distribution (end of modeling/adaptation phase):")
+		for i, x := range d {
+			fmt.Printf("  %-20s %6.2f%%\n", rep.PUNames[i], 100*x)
+		}
+	}
+	if len(rep.SchedStats) > 0 {
+		fmt.Printf("\nscheduler stats: %v\n", rep.SchedStats)
+	}
+	if *detail {
+		makespan, rows := trace.Analyze(rep)
+		fmt.Printf("\nper-unit time breakdown (makespan %.3fs):\n", makespan)
+		fmt.Printf("  %-20s %10s %10s %10s %10s\n", "unit", "exec s", "transfer s", "queue s", "idle s")
+		for _, b := range rows {
+			fmt.Printf("  %-20s %10.3f %10.3f %10.3f %10.3f\n",
+				b.Name, b.Exec, b.Transfer, b.Queue, b.Idle)
+		}
+		fmt.Println("\nstraggler chain (last unit's final tasks):")
+		for _, r := range trace.CriticalTail(rep, 5) {
+			fmt.Printf("  units=%6d exec=[%9.3f, %9.3f]\n", r.Units, r.ExecStart, r.ExecEnd)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteJSONL(f, trace.FromReport(rep)); err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (%d records)\n", *traceOut, len(rep.Records))
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(metrics.RenderGantt(rep, 100))
+	}
+}
+
+// compareAll runs every policy on the same scenario and prints a ranking.
+func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block float64, dual bool) {
+	b := block
+	if b <= 0 {
+		b = expt.InitialBlock(kind, size, machines)
+	}
+	names := []expt.SchedName{expt.PLBHeC, expt.HDSS, expt.Acosta, expt.Greedy, expt.Factoring, expt.Oracle}
+	fmt.Printf("comparing %d schedulers on %s-%d, %d machines (seed %d, block %.0f)\n\n",
+		len(names), kind, size, machines, seed, b)
+	fmt.Printf("%-20s %12s %12s %8s\n", "scheduler", "makespan s", "mean idle %", "tasks")
+	for _, name := range names {
+		a := expt.MakeApp(kind, size)
+		clu := cluster.TableI(cluster.Config{
+			Machines: machines, Seed: seed,
+			NoiseSigma: cluster.DefaultNoiseSigma, DualGPU: dual,
+		})
+		s, err := expt.NewScheduler(name, b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := starpu.NewSimSession(clu, a, starpu.SimConfig{}).Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-20s %12.3f %12.1f %8d\n",
+			name, rep.Makespan, 100*metrics.MeanIdle(rep), len(rep.Records))
+	}
+}

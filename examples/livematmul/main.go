@@ -1,0 +1,56 @@
+// Live matrix multiplication: the paper's linear-algebra workload running
+// as a *real computation* on real goroutine workers through the public
+// API, with the result verified against a direct dot-product check. The
+// throttled workers emulate a heterogeneous machine mix, and the per-worker
+// unit shares show the scheduler compensating.
+//
+//	go run ./examples/livematmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plbhec"
+	"plbhec/internal/apps"
+)
+
+func main() {
+	const n = 640
+	workers := []plbhec.LiveWorkerSpec{
+		{Name: "fast"},
+		{Name: "mid", Slowdown: 2},
+		{Name: "slow", Slowdown: 5},
+	}
+
+	run := func(s plbhec.Scheduler) *plbhec.Report {
+		mm := apps.NewLiveMatMul(n, 42)
+		rep, err := plbhec.RunLive(mm, plbhec.LiveConfig{
+			Workers:    workers,
+			TotalUnits: n,
+			AppName:    fmt.Sprintf("live-mm-%d", n),
+		}, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mm.Verify(); err != nil {
+			log.Fatalf("result verification failed: %v", err)
+		}
+		return rep
+	}
+
+	fmt.Printf("C = A·B with %d×%d matrices, decomposed line-wise over %d workers\n\n",
+		n, n, len(workers))
+	cfg := plbhec.SchedulerConfig{InitialBlockSize: 16}
+	for _, s := range []plbhec.Scheduler{plbhec.NewPLBHeC(cfg), plbhec.NewGreedy(cfg)} {
+		rep := run(s)
+		fmt.Printf("%-8s wall time %6.3fs  tasks %3d  (result verified ✓)\n",
+			rep.SchedulerName, rep.Makespan, len(rep.Records))
+		fmt.Println("         per-worker share of lines:")
+		for i, share := range plbhec.UnitsShare(rep) {
+			fmt.Printf("           %-6s %6.2f%%\n", rep.PUNames[i], 100*share)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Expected: the 5x-throttled worker receives proportionally fewer lines.")
+}

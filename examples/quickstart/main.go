@@ -1,0 +1,50 @@
+// Quickstart: simulate the paper's headline experiment in a few lines of
+// the public API — a 16384×16384 matrix multiplication on the four
+// heterogeneous machines of Table I, scheduled by PLB-HeC and by StarPU's
+// greedy policy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plbhec"
+)
+
+func main() {
+	app := plbhec.MatMul(plbhec.MatMulConfig{N: 16384})
+
+	run := func(s plbhec.Scheduler) *plbhec.Report {
+		// A fresh cluster per run: machines A–D with their CPUs, GPUs,
+		// PCIe buses and Ethernet links, simulated with a small
+		// measurement jitter.
+		clu := plbhec.TableICluster(plbhec.ClusterConfig{
+			Machines:   4,
+			Seed:       1,
+			NoiseSigma: plbhec.DefaultNoiseSigma,
+		})
+		rep, err := plbhec.Simulate(clu, app, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	cfg := plbhec.SchedulerConfig{InitialBlockSize: 8}
+	plb := run(plbhec.NewPLBHeC(cfg))
+	greedy := run(plbhec.NewGreedy(cfg))
+
+	fmt.Printf("workload: %s on machines A–D (8 processing units)\n\n", app)
+	for _, rep := range []*plbhec.Report{plb, greedy} {
+		fmt.Printf("%-8s makespan %7.3fs   mean idleness %5.1f%%   tasks %d\n",
+			rep.SchedulerName, rep.Makespan, 100*plbhec.MeanIdle(rep), len(rep.Records))
+	}
+	fmt.Printf("\nspeedup of PLB-HeC over greedy: %.2fx\n", greedy.Makespan/plb.Makespan)
+
+	fmt.Println("\nblock-size distribution chosen by PLB-HeC (end of modeling phase):")
+	for i, share := range plbhec.ModelingDistribution(plb) {
+		fmt.Printf("  %-20s %6.2f%%\n", plb.PUNames[i], 100*share)
+	}
+}

@@ -1,0 +1,65 @@
+// Rebalance: the paper's future-work scenarios (§VI) — cloud QoS
+// degradation and an outright device failure mid-run. PLB-HeC's
+// execution-time threshold detects the change, synchronizes, refits the
+// performance curves with the newly observed times, and redistributes the
+// blocks (to zero, for a dead device).
+//
+//	go run ./examples/rebalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plbhec"
+)
+
+func main() {
+	app := plbhec.MatMul(plbhec.MatMulConfig{N: 32768})
+
+	type scenario struct {
+		name    string
+		perturb func(clu *plbhec.Cluster, sess *plbhec.Session)
+	}
+	scenarios := []scenario{
+		{"baseline (no perturbation)", func(*plbhec.Cluster, *plbhec.Session) {}},
+		{"cloud QoS: master GPU drops to 40% at t=10s", func(clu *plbhec.Cluster, sess *plbhec.Session) {
+			gpu := clu.Machines[0].GPUs[0]
+			must(sess.ScheduleAt(10, func() { gpu.SetSpeedFactor(0.40) }))
+		}},
+		{"fault tolerance: machine B GPU fails outright at t=8s", func(clu *plbhec.Cluster, sess *plbhec.Session) {
+			gpu := clu.Machines[1].GPUs[0]
+			must(sess.ScheduleAt(8, func() { gpu.SetSpeedFactor(0) }))
+		}},
+	}
+
+	for _, sc := range scenarios {
+		clu := plbhec.TableICluster(plbhec.ClusterConfig{
+			Machines: 2, Seed: 3, NoiseSigma: plbhec.DefaultNoiseSigma,
+		})
+		sess := plbhec.NewSimSession(clu, app, plbhec.SimConfig{})
+		sc.perturb(clu, sess)
+		rep, err := sess.Run(plbhec.NewPLBHeC(plbhec.SchedulerConfig{InitialBlockSize: 16}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", sc.name)
+		fmt.Printf("makespan %.3fs, rebalances %.0f, distributions computed %d\n",
+			rep.Makespan, rep.SchedStats["rebalances"], len(rep.Distributions))
+		for _, d := range rep.Distributions {
+			fmt.Printf("  %-16s at %7.3fs:", d.Label, d.Time)
+			for i, x := range d.X {
+				fmt.Printf("  %s=%.1f%%", rep.PUNames[i], 100*x)
+			}
+			fmt.Println()
+		}
+		fmt.Print(plbhec.RenderGantt(rep, 90))
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

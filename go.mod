@@ -1,0 +1,3 @@
+module plbhec
+
+go 1.22

@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"plbhec/internal/stats"
+)
+
+// LiveMatMul is a real single-precision-in-float64 matrix multiplication
+// C = A·B decomposed line-wise, for the live (goroutine) engine and for
+// end-to-end tests. A and B are N×N, generated deterministically from Seed.
+type LiveMatMul struct {
+	N       int
+	A, B, C []float64 // row-major N×N
+}
+
+// NewLiveMatMul allocates and fills the operands.
+func NewLiveMatMul(n int, seed int64) *LiveMatMul {
+	rng := stats.NewRNG(seed)
+	m := &LiveMatMul{
+		N: n,
+		A: make([]float64, n*n),
+		B: make([]float64, n*n),
+		C: make([]float64, n*n),
+	}
+	for i := range m.A {
+		m.A[i] = rng.Float64()*2 - 1
+		m.B[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// Execute computes output lines [lo,hi) of C with a cache-blocked kernel.
+// Distinct line ranges touch disjoint parts of C, so concurrent calls on
+// disjoint ranges are safe.
+func (m *LiveMatMul) Execute(lo, hi int64) {
+	n := m.N
+	const tile = 64
+	for i := int(lo); i < int(hi); i++ {
+		ci := m.C[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for kk := 0; kk < n; kk += tile {
+			kend := kk + tile
+			if kend > n {
+				kend = n
+			}
+			ai := m.A[i*n : (i+1)*n]
+			for k := kk; k < kend; k++ {
+				aik := ai[k]
+				bk := m.B[k*n : (k+1)*n]
+				for j, bkj := range bk {
+					ci[j] += aik * bkj
+				}
+			}
+		}
+	}
+}
+
+// Verify spot-checks random elements of C against a direct dot product.
+// It must be called only after every line has been executed.
+func (m *LiveMatMul) Verify() error {
+	rng := stats.NewRNG(7)
+	n := m.N
+	checks := 20
+	if n*n < checks {
+		checks = n * n
+	}
+	for c := 0; c < checks; c++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		var want float64
+		for k := 0; k < n; k++ {
+			want += m.A[i*n+k] * m.B[k*n+j]
+		}
+		got := m.C[i*n+j]
+		if math.Abs(got-want) > 1e-9*float64(n)+1e-12 {
+			return fmt.Errorf("matmul: C[%d,%d] = %g, want %g", i, j, got, want)
+		}
+	}
+	return nil
+}

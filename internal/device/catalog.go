@@ -1,0 +1,108 @@
+package device
+
+// Catalog of the processors in Table I of the paper. Clock rates, core
+// counts, SM counts, memory bandwidths and capacities are the paper's (with
+// the two obvious typos fixed: "i7 a20" → i7-920, "i7 3939K" → i7-3930K).
+// FlopsPerCycle follows the microarchitecture: AVX-class CPUs do 16 SP
+// FLOPs/cycle/core (8-wide FMA or mul+add pipes), the Nehalem i7-920 does 8
+// (SSE); GPU CUDA cores do 2 (FMA).
+//
+// LaunchOverhead and CacheFalloff are calibration constants of
+// our simulator, chosen so that the time-vs-block-size curves have the
+// qualitative shape of the paper's Fig. 1 (GPU FLOP/s saturating with block
+// size, CPU linear) and GPU:CPU speed ratios in the range the applications
+// report.
+
+// XeonE52690V2 is machine A's CPU: 10 cores @ 3.0 GHz, 25 MB cache.
+func XeonE52690V2() Spec {
+	return Spec{
+		Name: "Xeon E5-2690v2", Kind: CPU,
+		Cores: 10, ClockGHz: 3.0, FlopsPerCycle: 16,
+		CacheMB: 25, MemBWGBs: 59.7,
+		LaunchOverhead: 40e-6, CacheFalloff: 0.35,
+	}
+}
+
+// CoreI7920 is machine B's CPU: 4 cores @ 2.67 GHz, 8 MB cache.
+func CoreI7920() Spec {
+	return Spec{
+		Name: "i7-920", Kind: CPU,
+		Cores: 4, ClockGHz: 2.67, FlopsPerCycle: 8,
+		CacheMB: 8, MemBWGBs: 25.6,
+		LaunchOverhead: 40e-6, CacheFalloff: 0.35,
+	}
+}
+
+// CoreI74930K is machine C's CPU: 6 cores @ 3.4 GHz, 12 MB cache.
+func CoreI74930K() Spec {
+	return Spec{
+		Name: "i7-4930K", Kind: CPU,
+		Cores: 6, ClockGHz: 3.4, FlopsPerCycle: 16,
+		CacheMB: 12, MemBWGBs: 59.7,
+		LaunchOverhead: 40e-6, CacheFalloff: 0.35,
+	}
+}
+
+// CoreI73930K is machine D's CPU: 6 cores @ 3.2 GHz, 12 MB cache.
+func CoreI73930K() Spec {
+	return Spec{
+		Name: "i7-3930K", Kind: CPU,
+		Cores: 6, ClockGHz: 3.2, FlopsPerCycle: 16,
+		CacheMB: 12, MemBWGBs: 51.2,
+		LaunchOverhead: 40e-6, CacheFalloff: 0.35,
+	}
+}
+
+// TeslaK20c is machine A's GPU: 2496 cores / 13 SMs (Kepler GK110),
+// 205 GB/s, 6 GB.
+func TeslaK20c() Spec {
+	return Spec{
+		Name: "Tesla K20c", Kind: GPU,
+		Cores: 2496, ClockGHz: 0.706, FlopsPerCycle: 2, SMs: 13,
+		MemBWGBs: 205, MemGB: 6,
+		LaunchOverhead: 120e-6,
+	}
+}
+
+// GTX295 is machine B's GPU. The board carries two GT200 processors of 240
+// cores / 15 SMs each; this Spec describes one processor (the paper's
+// Figs. 6–7 use one GPU per machine). Use both Specs for the dual
+// configuration.
+func GTX295() Spec {
+	return Spec{
+		Name: "GTX 295", Kind: GPU,
+		Cores: 240, ClockGHz: 1.242, FlopsPerCycle: 2, SMs: 15,
+		MemBWGBs: 111.9, MemGB: 0.896,
+		LaunchOverhead: 150e-6,
+	}
+}
+
+// GTX680 is machine C's GPU. The paper lists 2×1536 cores / 8 SMs; this
+// Spec describes one GK104 processor (1536 cores, 8 SMs), 192.2 GB/s, 2 GB.
+func GTX680() Spec {
+	return Spec{
+		Name: "GTX 680", Kind: GPU,
+		Cores: 1536, ClockGHz: 1.006, FlopsPerCycle: 2, SMs: 8,
+		MemBWGBs: 192.2, MemGB: 2,
+		LaunchOverhead: 120e-6,
+	}
+}
+
+// GTXTitan is machine D's GPU: 2688 cores / 14 SMs (GK110), 223.8 GB/s
+// per Table I, 6 GB.
+func GTXTitan() Spec {
+	return Spec{
+		Name: "GTX Titan", Kind: GPU,
+		Cores: 2688, ClockGHz: 0.837, FlopsPerCycle: 2, SMs: 14,
+		MemBWGBs: 223.8, MemGB: 6,
+		LaunchOverhead: 120e-6,
+	}
+}
+
+// TableISpecs returns every Table I processor, CPUs first.
+func TableISpecs() []Spec {
+	return []Spec{
+		XeonE52690V2(), CoreI7920(), CoreI74930K(), CoreI73930K(),
+		TeslaK20c(), GTX295(), GTX680(), GTXTitan(),
+	}
+}

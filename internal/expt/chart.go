@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart — used by experiments to
+// make speedup comparisons legible directly in the terminal, mirroring the
+// bar panels of the paper's figures.
+type BarChart struct {
+	Title string
+	Unit  string // suffix for values, e.g. "x" or "s"
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.bars = append(c.bars, bar{label, value})
+}
+
+// SortDescending orders bars by value, largest first.
+func (c *BarChart) SortDescending() {
+	sort.SliceStable(c.bars, func(i, j int) bool { return c.bars[i].value > c.bars[j].value })
+}
+
+// Render draws the chart with bars scaled to width columns.
+func (c *BarChart) Render(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "\n%s\n", c.Title)
+	}
+	if len(c.bars) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, b := range c.bars {
+		if b.value > maxVal {
+			maxVal = b.value
+		}
+		if len(b.label) > maxLabel {
+			maxLabel = len(b.label)
+		}
+	}
+	for _, b := range c.bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.value / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s %s %.2f%s\n", maxLabel, b.label,
+			strings.Repeat("▇", n), b.value, c.Unit)
+	}
+}

@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRender(t *testing.T) {
+	c := NewBarChart("speedups", "x")
+	c.Add("plb-hec", 2.2)
+	c.Add("greedy", 1.0)
+	var buf bytes.Buffer
+	c.Render(&buf, 20)
+	out := buf.String()
+	if !strings.Contains(out, "speedups") || !strings.Contains(out, "2.20x") {
+		t.Errorf("render = %q", out)
+	}
+	// The larger bar must be longer.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "▇") <= strings.Count(lines[2], "▇") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarChartSortAndEmpty(t *testing.T) {
+	c := NewBarChart("", "")
+	var buf bytes.Buffer
+	c.Render(&buf, 20)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart = %q", buf.String())
+	}
+	c.Add("small", 1)
+	c.Add("big", 3)
+	c.SortDescending()
+	buf.Reset()
+	c.Render(&buf, 20)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], "big") {
+		t.Errorf("sort failed:\n%s", buf.String())
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := NewBarChart("z", "")
+	c.Add("a", 0)
+	c.Add("b", 0)
+	var buf bytes.Buffer
+	c.Render(&buf, 20) // must not divide by zero
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := NewTable("Title", "a", "b")
+	tab.AddRow("x", 1)
+	var buf bytes.Buffer
+	tab.RenderMarkdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "### Title") || !strings.Contains(out, "| a | b |") ||
+		!strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "| x | 1 |") {
+		t.Errorf("markdown render = %q", out)
+	}
+}
+
+func TestEmitRespectsMarkdownOption(t *testing.T) {
+	tab := NewTable("T", "h")
+	tab.AddRow("v")
+	var md, txt bytes.Buffer
+	if err := tab.Emit(Options{Out: &md, Markdown: true}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Emit(Options{Out: &txt}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "### T") {
+		t.Error("markdown emit missing header")
+	}
+	if strings.Contains(txt.String(), "###") {
+		t.Error("text emit rendered markdown")
+	}
+}

@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Out      io.Writer // text output (tables, traces)
+	CSVDir   string    // directory for CSV emission ("" disables)
+	Seeds    int       // repetitions per cell (0 = paper's 10)
+	Quick    bool      // reduced sizes/seeds for smoke tests and CI
+	Markdown bool      // render tables as markdown (cmd/plbreport)
+}
+
+func (o Options) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	if o.Quick {
+		return 3
+	}
+	return DefaultSeeds
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig4"
+	Paper string // the paper artifact it reproduces
+	Desc  string
+	Run   func(Options) error
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	var out []Experiment
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunAll executes every registered experiment in ID order.
+func RunAll(o Options) error {
+	for _, e := range All() {
+		fmt.Fprintf(o.Out, "\n########## %s — %s ##########\n", e.ID, e.Paper)
+		if err := e.Run(o); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// quickSize shrinks an input size in quick mode so test runs stay fast.
+func (o Options) size(kind AppKind, s int64) int64 {
+	if !o.Quick {
+		return s
+	}
+	switch kind {
+	case MM:
+		return s / 4
+	case GRN:
+		return s / 4
+	case BS:
+		return s / 4
+	}
+	return s
+}
+
+// machinesAxis is the paper's four cluster scenarios.
+func (o Options) machinesAxis() []int {
+	if o.Quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 3, 4}
+}

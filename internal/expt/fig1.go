@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"plbhec/internal/device"
+	"plbhec/internal/profile"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Paper: "Fig. 1",
+		Desc:  "Measured execution times and fitted performance models (GPU and CPU, Black-Scholes and MM)",
+		Run:   runFig1,
+	})
+}
+
+// runFig1 reproduces the paper's Fig. 1: for the matrix multiplication and
+// Black-Scholes kernels, sample execution times of one GPU and one CPU over
+// a range of block sizes, fit the paper's F_p[x] model, and emit the
+// measured and modeled series side by side.
+func runFig1(o Options) error {
+	cases := []struct {
+		kind  AppKind
+		size  int64
+		grid  []float64
+		label string
+	}{
+		{MM, o.size(MM, 32768), geomGrid(8, 8192, 12), "MM"},
+		{BS, o.size(BS, 500000), geomGrid(64, 131072, 12), "Black-Scholes"},
+	}
+	devices := []device.Spec{device.TeslaK20c(), device.XeonE52690V2()}
+
+	for _, c := range cases {
+		app := MakeApp(c.kind, c.size)
+		prof := app.Profile()
+		t := NewTable(
+			fmt.Sprintf("Fig. 1 — %s: time vs block size, measured and fitted", c.label),
+			"Device", "Block size", "Measured s", "Model s", "Model")
+		for _, spec := range devices {
+			dev := device.New(spec, 42, 0.015)
+			sampler := profile.NewSampler(1)
+			var xs []float64
+			for _, x := range c.grid {
+				if x > float64(app.TotalUnits()) {
+					break
+				}
+				sampler.Add(0, x, dev.ExecSeconds(prof, x), 0)
+				xs = append(xs, x)
+			}
+			ms, err := sampler.FitAll(xs[len(xs)-1] * 2)
+			if err != nil {
+				return err
+			}
+			m := ms.PU[0]
+			for _, x := range xs {
+				t.AddRow(spec.Name, fmt.Sprintf("%.0f", x),
+					fmt.Sprintf("%.5f", dev.NominalExecSeconds(prof, x)),
+					fmt.Sprintf("%.5f", m.F.Eval(x)),
+					m.F.String())
+			}
+		}
+		if err := t.Emit(o, "fig1-"+string(c.kind)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// geomGrid returns n geometrically spaced points from lo to hi.
+func geomGrid(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := 0; i < n; i++ {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/starpu"
+	"plbhec/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cloud",
+		Paper: "§VI (future work)",
+		Desc:  "Cloud-QoS degradation and device failure mid-run: rebalancing and redistribution under all schedulers",
+		Run:   runCloud,
+	})
+	register(Experiment{
+		ID:    "dualgpu",
+		Paper: "Table I (dual boards)",
+		Desc:  "Dual-GPU boards enabled (GTX 295 and GTX 680 second processors): 10 processing units",
+		Run:   runDualGPU,
+	})
+}
+
+// runCloud evaluates every scheduler under the paper's two envisioned
+// non-stationary scenarios: a QoS drop (master GPU at 40%) and a device
+// failure (machine B's GPU dies), both mid-run.
+func runCloud(o Options) error {
+	size := o.size(MM, 32768)
+	perturbations := []string{
+		"stationary",
+		"QoS drop (master GPU to 40%)",
+		"failure (B's GPU dies)",
+	}
+
+	// Pilot run to place the perturbation at ~40% of a typical makespan,
+	// whatever the scenario scale.
+	pilotSc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 7000}
+	pilot, err := RunCell(pilotSc, PLBHeC)
+	if err != nil {
+		return err
+	}
+	perturbAt := 0.4 * pilot.Makespan.Mean
+
+	t := NewTable(fmt.Sprintf("cloud/fault scenarios — MM %d, 2 machines (perturbation at t=%.2fs)", size, perturbAt),
+		"Scenario", "Scheduler", "Time s", "Std", "Rebalances")
+	for pi, pertName := range perturbations {
+		for _, name := range PaperSchedulers() {
+			var times []float64
+			var rebal float64
+			seeds := o.seeds()
+			for i := 0; i < seeds; i++ {
+				sc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 7000 + int64(i)}
+				app := MakeApp(sc.Kind, sc.Size)
+				clu := sc.Cluster(0)
+				sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+				switch pi {
+				case 1:
+					gpu := clu.Machines[0].GPUs[0]
+					if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(0.40) }); err != nil {
+						return err
+					}
+				case 2:
+					gpu := clu.Machines[1].GPUs[0]
+					if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(0) }); err != nil {
+						return err
+					}
+				}
+				s, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
+				if err != nil {
+					return err
+				}
+				rep, err := sess.Run(s)
+				if err != nil {
+					return fmt.Errorf("%s under %q: %w", name, pertName, err)
+				}
+				times = append(times, rep.Makespan)
+				rebal += rep.SchedStats["rebalances"] / float64(seeds)
+			}
+			sum := stats.Summarize(times)
+			t.AddRow(pertName, string(name),
+				fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std),
+				fmt.Sprintf("%.1f", rebal))
+		}
+	}
+	return t.Emit(o, "cloud")
+}
+
+// runDualGPU compares the default one-GPU-per-machine configuration with
+// the dual-processor boards enabled, as Table I describes for the GTX 295
+// and GTX 680.
+func runDualGPU(o Options) error {
+	size := o.size(MM, 65536)
+	t := NewTable(fmt.Sprintf("dual-GPU boards — MM %d, 4 machines", size),
+		"Configuration", "PUs", "Scheduler", "Time s", "Std")
+	for _, dual := range []bool{false, true} {
+		label := "single GPU per machine"
+		if dual {
+			label = "dual boards enabled"
+		}
+		for _, name := range []SchedName{PLBHeC, Greedy} {
+			var times []float64
+			pus := 0
+			seeds := o.seeds()
+			for i := 0; i < seeds; i++ {
+				app := MakeApp(MM, size)
+				clu := clusterWithDual(4, 8000+int64(i), dual)
+				pus = len(clu.PUs())
+				s, err := NewScheduler(name, InitialBlock(MM, size, 4))
+				if err != nil {
+					return err
+				}
+				rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(s)
+				if err != nil {
+					return err
+				}
+				times = append(times, rep.Makespan)
+			}
+			sum := stats.Summarize(times)
+			t.AddRow(label, pus, string(name),
+				fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std))
+		}
+	}
+	if err := t.Emit(o, "dualgpu"); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "(dual boards add a second GTX 295 and GTX 680 processor; total work\n"+
+		"capacity rises, and the profile-based split follows automatically)\n")
+	return nil
+}

@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/sched"
+	"plbhec/internal/starpu"
+	"plbhec/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "related",
+		Paper: "§II (related work)",
+		Desc:  "Extended comparison: the paper's four schedulers plus static profiling [17] and weighted factoring [20]",
+		Run:   runRelated,
+	})
+}
+
+// runRelated runs the full scheduler spectrum — including the §II
+// related-work schemes the paper discusses but does not benchmark — on the
+// headline MM scenario. Static profiling gets genuine profiles from a
+// prior PLB-HeC run on the same cluster, per [17]'s design.
+func runRelated(o Options) error {
+	size := o.size(MM, 65536)
+	seeds := o.seeds()
+	blk := InitialBlock(MM, size, 4)
+
+	t := NewTable(
+		fmt.Sprintf("related-work comparison — MM %d, 4 machines", size),
+		"Scheduler", "Origin", "Time s", "Std", "Speedup vs greedy")
+
+	// Profiling run for [17]: one PLB-HeC execution on the target cluster.
+	profSc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 9000}
+	profRes, err := RunCell(profSc, PLBHeC)
+	if err != nil {
+		return err
+	}
+	rates := sched.RatesFromReport(profRes.LastReport)
+
+	entries := []struct {
+		name   string
+		origin string
+		mk     func() starpu.Scheduler
+	}{
+		{"plb-hec", "this paper", func() starpu.Scheduler { return sched.NewPLBHeC(sched.Config{InitialBlockSize: blk}) }},
+		{"hdss", "[19] Belviranli et al.", func() starpu.Scheduler { return sched.NewHDSS(sched.Config{InitialBlockSize: blk}) }},
+		{"acosta", "[18] Acosta et al.", func() starpu.Scheduler { return sched.NewAcosta(sched.Config{InitialBlockSize: blk}) }},
+		{"greedy", "StarPU default", func() starpu.Scheduler { return sched.NewGreedy(sched.Config{InitialBlockSize: blk}) }},
+		{"static-profile", "[17] de Camargo", func() starpu.Scheduler { return sched.NewStaticProfile(rates) }},
+		{"weighted-factoring", "[20] Hummel et al.", func() starpu.Scheduler {
+			return sched.NewWeightedFactoring(sched.Config{InitialBlockSize: blk}, rates)
+		}},
+		{"static-oracle", "ablation", func() starpu.Scheduler { return sched.NewStatic() }},
+	}
+
+	var greedyMean float64
+	results := make([]stats.Summary, len(entries))
+	for ei, e := range entries {
+		var times []float64
+		for i := 0; i < seeds; i++ {
+			sc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 9100 + int64(i)}
+			app := MakeApp(sc.Kind, sc.Size)
+			rep, err := starpu.NewSimSession(sc.Cluster(0), app, starpu.SimConfig{}).Run(e.mk())
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			times = append(times, rep.Makespan)
+		}
+		results[ei] = stats.Summarize(times)
+		if e.name == "greedy" {
+			greedyMean = results[ei].Mean
+		}
+	}
+	for ei, e := range entries {
+		sp := "-"
+		if greedyMean > 0 {
+			sp = fmt.Sprintf("%.2f", greedyMean/results[ei].Mean)
+		}
+		t.AddRow(e.name, e.origin,
+			fmt.Sprintf("%.3f", results[ei].Mean),
+			fmt.Sprintf("%.3f", results[ei].Std), sp)
+	}
+	return t.Emit(o, "related")
+}

@@ -1,0 +1,125 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/metrics"
+	"plbhec/internal/starpu"
+	"plbhec/internal/stats"
+)
+
+// Result aggregates the repetitions of one (scenario, scheduler) cell.
+type Result struct {
+	Scenario Scenario
+	Sched    SchedName
+
+	Makespan stats.Summary // seconds
+	MeanIdle stats.Summary // fraction
+
+	// PUNames and the per-PU aggregates below are indexed by processing
+	// unit in cluster order.
+	PUNames []string
+	// Dist is the block-size distribution recorded at the end of the
+	// modeling/adaptation phase (Fig. 6), mean and std over repetitions.
+	// For Acosta the paper reports the end-of-execution distribution, so
+	// the final recorded split is aggregated instead.
+	DistMean, DistStd []float64
+	// IdleMean and IdleStd are per-PU idleness fractions (Fig. 7).
+	IdleMean, IdleStd []float64
+
+	// SchedStats sums scheduler counters (rebalances, solver time...)
+	// averaged over repetitions.
+	SchedStats map[string]float64
+
+	// LastReport is the final repetition's full report, for Gantt and
+	// trace rendering.
+	LastReport *starpu.Report
+}
+
+// RunCell executes one (scenario, scheduler) cell over all repetitions.
+func RunCell(sc Scenario, name SchedName) (*Result, error) {
+	if sc.Seeds <= 0 {
+		sc.Seeds = DefaultSeeds
+	}
+	res := &Result{Scenario: sc, Sched: name, SchedStats: map[string]float64{}}
+	var makespans, idles []float64
+	var dists, puIdles [][]float64
+
+	for i := 0; i < sc.Seeds; i++ {
+		app := MakeApp(sc.Kind, sc.Size)
+		clu := sc.Cluster(i)
+		cfg := starpu.SimConfig{}
+		if sc.NoOverheads {
+			cfg.Overheads = starpu.NoOverheads()
+		}
+		sess := starpu.NewSimSession(clu, app, cfg)
+		s, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sess.Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s/%s seed %d: %w", sc.Label(), name, i, err)
+		}
+		res.LastReport = rep
+		if res.PUNames == nil {
+			res.PUNames = rep.PUNames
+		}
+		makespans = append(makespans, rep.Makespan)
+		idles = append(idles, metrics.MeanIdle(rep))
+		var d []float64
+		if name == Acosta {
+			d = metrics.FinalDistribution(rep)
+		} else {
+			d = metrics.ModelingDistribution(rep)
+		}
+		if d != nil {
+			dists = append(dists, d)
+		}
+		usage := metrics.Usage(rep)
+		pi := make([]float64, len(usage))
+		for j, u := range usage {
+			pi[j] = u.IdleFraction
+		}
+		puIdles = append(puIdles, pi)
+		for k, v := range rep.SchedStats {
+			res.SchedStats[k] += v / float64(sc.Seeds)
+		}
+	}
+	res.Makespan = stats.Summarize(makespans)
+	res.MeanIdle = stats.Summarize(idles)
+	res.DistMean, res.DistStd = columnStats(dists)
+	res.IdleMean, res.IdleStd = columnStats(puIdles)
+	return res, nil
+}
+
+// columnStats returns per-column mean and sample standard deviation of a
+// ragged-safe row-major table (rows must share a length; nil in → nil out).
+func columnStats(rows [][]float64) (mean, std []float64) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	cols := len(rows[0])
+	mean = make([]float64, cols)
+	std = make([]float64, cols)
+	col := make([]float64, 0, len(rows))
+	for c := 0; c < cols; c++ {
+		col = col[:0]
+		for _, r := range rows {
+			if c < len(r) {
+				col = append(col, r[c])
+			}
+		}
+		mean[c] = stats.Mean(col)
+		std[c] = stats.StdDev(col)
+	}
+	return mean, std
+}
+
+// Speedup returns a's speedup relative to base (base/a in mean makespan).
+func Speedup(a, base *Result) float64 {
+	if a.Makespan.Mean == 0 {
+		return 0
+	}
+	return base.Makespan.Mean / a.Makespan.Mean
+}

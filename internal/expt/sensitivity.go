@@ -1,0 +1,168 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/sched"
+	"plbhec/internal/starpu"
+	"plbhec/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "threshold",
+		Paper: "§III.D (threshold trade-off)",
+		Desc:  "Rebalancing-threshold sweep under a mid-run QoS change: small thresholds thrash, large ones tolerate imbalance",
+		Run:   runThreshold,
+	})
+	register(Experiment{
+		ID:    "blocksize",
+		Paper: "§V.A (initial block size rule)",
+		Desc:  "Initial-block-size sweep: the empirical ~10%-of-execution rule sits at the bottom of a U-shaped curve",
+		Run:   runBlockSize,
+	})
+	register(Experiment{
+		ID:    "noise",
+		Paper: "robustness (extension)",
+		Desc:  "Measurement-noise sweep: curve fitting and threshold debouncing under 0–10% execution-time jitter",
+		Run:   runNoise,
+	})
+}
+
+// plbWith runs PLB-HeC with a tweak over several seeds on one scenario and
+// returns makespan summary plus mean rebalances.
+func plbWith(kind AppKind, size int64, machines, seeds int, baseSeed int64,
+	noise float64, perturbAt, perturbFactor float64,
+	tweak func(*sched.PLBHeC)) (stats.Summary, float64, error) {
+
+	var times []float64
+	var rebal float64
+	for i := 0; i < seeds; i++ {
+		app := MakeApp(kind, size)
+		clu := cluster.TableI(cluster.Config{
+			Machines: machines, Seed: baseSeed + int64(i), NoiseSigma: noise,
+		})
+		sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+		if perturbAt > 0 {
+			gpu := clu.Machines[0].GPUs[0]
+			if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(perturbFactor) }); err != nil {
+				return stats.Summary{}, 0, err
+			}
+		}
+		p := sched.NewPLBHeC(sched.Config{InitialBlockSize: InitialBlock(kind, size, machines)})
+		if tweak != nil {
+			tweak(p)
+		}
+		rep, err := sess.Run(p)
+		if err != nil {
+			return stats.Summary{}, 0, err
+		}
+		times = append(times, rep.Makespan)
+		rebal += rep.SchedStats["rebalances"] / float64(seeds)
+	}
+	return stats.Summarize(times), rebal, nil
+}
+
+// runThreshold sweeps the rebalancing threshold under a mid-run QoS drop
+// (§III.D's trade-off). A measured, honest finding of this reproduction:
+// the threshold mostly controls how many synchronizations happen, while
+// the makespan stays nearly flat — the asynchronous pull model already
+// rebalances block *counts* when a unit slows down, so the explicit
+// redistribution only rightsizes the blocks. This matches the paper's own
+// observation that its runs never actually triggered a rebalance.
+func runThreshold(o Options) error {
+	size := o.size(MM, 65536)
+	// Pilot for the perturbation time.
+	pilot, _, err := plbWith(MM, size, 4, 1, 9900, cluster.DefaultNoiseSigma, 0, 0, nil)
+	if err != nil {
+		return err
+	}
+	perturbAt := 0.35 * pilot.Mean
+
+	t := NewTable(
+		fmt.Sprintf("threshold sweep — MM %d, 4 machines, master GPU to 40%% at t=%.1fs", size, perturbAt),
+		"Threshold", "Time s", "Std", "Rebalances")
+	for _, thr := range []float64{0.02, 0.05, 0.10, 0.20, 0.50, 2.0, 0} {
+		sum, rebal, err := plbWith(MM, size, 4, o.seeds(), 9900,
+			cluster.DefaultNoiseSigma, perturbAt, 0.40,
+			func(p *sched.PLBHeC) { p.Threshold = thr })
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%.0f%%", thr*100)
+		switch {
+		case thr == 0.10:
+			label += " (paper)"
+		case thr == 0:
+			label = "off (no rebalancing)"
+		}
+		t.AddRow(label, fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std),
+			fmt.Sprintf("%.1f", rebal))
+	}
+	return t.Emit(o, "threshold")
+}
+
+// runBlockSize sweeps the initial block size on the stationary headline
+// scenario for PLB-HeC and greedy — the paper sets it "empirically, so
+// that the initial phase takes about 10% of the application execution
+// time", and this sweep shows why: small blocks starve the curve fits of
+// dynamic range (and throttle greedy's GPUs), huge ones stall the first
+// probing round on the slowest CPU.
+func runBlockSize(o Options) error {
+	size := o.size(MM, 65536)
+	seeds := o.seeds()
+	def := InitialBlock(MM, size, 4)
+
+	t := NewTable(
+		fmt.Sprintf("initial block size sweep — MM %d, 4 machines (per-app default %.0f)", size, def),
+		"Block", "PLB-HeC s", "Std", "Greedy s", "Std")
+	for _, blk := range []float64{4, 8, 16, 32, 64, 128} {
+		var plbTimes, greedyTimes []float64
+		for i := 0; i < seeds; i++ {
+			sc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 9950 + int64(i)}
+			app := MakeApp(sc.Kind, sc.Size)
+			rep, err := starpu.NewSimSession(sc.Cluster(0), app, starpu.SimConfig{}).
+				Run(sched.NewPLBHeC(sched.Config{InitialBlockSize: blk}))
+			if err != nil {
+				return err
+			}
+			plbTimes = append(plbTimes, rep.Makespan)
+			app2 := MakeApp(sc.Kind, sc.Size)
+			rep2, err := starpu.NewSimSession(sc.Cluster(0), app2, starpu.SimConfig{}).
+				Run(sched.NewGreedy(sched.Config{InitialBlockSize: blk}))
+			if err != nil {
+				return err
+			}
+			greedyTimes = append(greedyTimes, rep2.Makespan)
+		}
+		ps, gs := stats.Summarize(plbTimes), stats.Summarize(greedyTimes)
+		t.AddRow(fmt.Sprintf("%.0f", blk),
+			fmt.Sprintf("%.3f", ps.Mean), fmt.Sprintf("%.3f", ps.Std),
+			fmt.Sprintf("%.3f", gs.Mean), fmt.Sprintf("%.3f", gs.Std))
+	}
+	return t.Emit(o, "blocksize")
+}
+
+// runNoise sweeps the measurement jitter. The fits are least-squares over
+// several samples and the threshold is debounced, so moderate noise should
+// cost little; heavy noise forces spurious rebalances.
+func runNoise(o Options) error {
+	size := o.size(MM, 65536)
+	t := NewTable(
+		fmt.Sprintf("measurement-noise sweep — MM %d, 4 machines, PLB-HeC", size),
+		"Noise σ", "Time s", "Std", "Rebalances")
+	for _, sigma := range []float64{0, 0.005, 0.015, 0.05, 0.10} {
+		sum, rebal, err := plbWith(MM, size, 4, o.seeds(), 9990, sigma, 0, 0, nil)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%.1f%%", sigma*100)
+		if sigma == cluster.DefaultNoiseSigma {
+			label += " (default)"
+		}
+		t.AddRow(label, fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std),
+			fmt.Sprintf("%.1f", rebal))
+	}
+	return t.Emit(o, "noise")
+}

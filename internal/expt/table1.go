@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/device"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Paper: "Table I",
+		Desc:  "Machine configurations of the evaluation cluster",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(o Options) error {
+	t := NewTable("Table I — machine configurations (as modeled)",
+		"Machine", "Processor", "Kind", "Cores", "SMs", "Clock GHz",
+		"Mem BW GB/s", "Mem GB", "Cache MB", "Peak GFLOP/s")
+	machines := []struct {
+		name string
+		cpu  device.Spec
+		gpu  device.Spec
+	}{
+		{"A", device.XeonE52690V2(), device.TeslaK20c()},
+		{"B", device.CoreI7920(), device.GTX295()},
+		{"C", device.CoreI74930K(), device.GTX680()},
+		{"D", device.CoreI73930K(), device.GTXTitan()},
+	}
+	for _, m := range machines {
+		for _, d := range []device.Spec{m.cpu, m.gpu} {
+			t.AddRow(m.name, d.Name, d.Kind.String(), d.Cores, d.SMs,
+				d.ClockGHz, d.MemBWGBs, d.MemGB, d.CacheMB,
+				fmt.Sprintf("%.0f", d.PeakGFlops()))
+		}
+	}
+	return t.Emit(o, "table1")
+}

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/ipm"
+	"plbhec/internal/metrics"
+	"plbhec/internal/sched"
+	"plbhec/internal/starpu"
+	"plbhec/internal/stats"
+)
+
+// plbKnobs selects a PLB-HeC ablation variant.
+type plbKnobs struct {
+	bisection   bool // replace the interior-point method with τ-bisection
+	noRebalance bool // disable threshold-triggered rebalancing
+	oneStep     bool // hand each unit its whole share as one block
+}
+
+// runPLBVariant runs a modified PLB-HeC over the scenario's repetitions.
+func runPLBVariant(sc Scenario, tweak func(*plbKnobs)) (*Result, error) {
+	var knobs plbKnobs
+	tweak(&knobs)
+	if sc.Seeds <= 0 {
+		sc.Seeds = DefaultSeeds
+	}
+	res := &Result{Scenario: sc, Sched: PLBHeC, SchedStats: map[string]float64{}}
+	var makespans, idles []float64
+	for i := 0; i < sc.Seeds; i++ {
+		app := MakeApp(sc.Kind, sc.Size)
+		sess := starpu.NewSimSession(sc.Cluster(i), app, starpu.SimConfig{})
+		p := sched.NewPLBHeC(sched.Config{InitialBlockSize: InitialBlock(sc.Kind, sc.Size, sc.Machines)})
+		if knobs.bisection {
+			p.Solver = ipm.Options{DisableIPM: true}
+		}
+		if knobs.noRebalance {
+			p.Threshold = 0
+		}
+		if knobs.oneStep {
+			p.ExecutionSteps = 1
+		}
+		rep, err := sess.Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("expt: variant %+v seed %d: %w", knobs, i, err)
+		}
+		res.LastReport = rep
+		if res.PUNames == nil {
+			res.PUNames = rep.PUNames
+		}
+		makespans = append(makespans, rep.Makespan)
+		idles = append(idles, metrics.MeanIdle(rep))
+		for k, v := range rep.SchedStats {
+			res.SchedStats[k] += v / float64(sc.Seeds)
+		}
+	}
+	res.Makespan = stats.Summarize(makespans)
+	res.MeanIdle = stats.Summarize(idles)
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkFitSamplesOver(b *testing.B) {
+	// The scheduler's hot path: 8 geometric samples, horizon 65536.
+	var xs, ys []float64
+	for x := 8.0; x <= 1024; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 0.002*x+0.3*math.Log(x))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitSamplesOver(xs, ys, 65536); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitLinear(b *testing.B) {
+	xs := []float64{8, 16, 32, 64, 128, 256}
+	ys := []float64{0.9, 1.7, 3.2, 6.5, 13.1, 26.0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLinear(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

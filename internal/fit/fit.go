@@ -1,0 +1,344 @@
+// Package fit implements the performance-model curve fitting of the paper's
+// §III.B: least-squares fits of the per-unit execution-time function F_p[x]
+// over the basis set {ln x, x, x², x³, eˣ, x·eˣ, x·ln x} (Eq. 1), selected
+// by coefficient of determination, and the linear transfer-time function
+// G_p[x] = a₁·x + a₂ (Eq. 2).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"plbhec/internal/linalg"
+)
+
+// ErrTooFewPoints is returned when fewer samples than coefficients are
+// supplied.
+var ErrTooFewPoints = errors.New("fit: too few points")
+
+// ErrDegenerate is returned when the samples carry no usable signal (e.g.
+// all x equal).
+var ErrDegenerate = errors.New("fit: degenerate sample set")
+
+// Basis is one term of Eq. 1. Eval receives the raw block size x and the
+// fitting scale s (the largest sampled x); exponential bases use x/s so
+// they stay bounded over the sampled range.
+type Basis struct {
+	Name string
+	Eval func(x, s float64) float64
+}
+
+// The paper's basis set. Log bases clamp x to a tiny positive value so that
+// evaluation at x=0 stays finite (a zero-size block takes ~0 time anyway).
+var (
+	basisOne  = Basis{"1", func(x, s float64) float64 { return 1 }}
+	basisLog  = Basis{"ln x", func(x, s float64) float64 { return math.Log(clampPos(x)) }}
+	basisX    = Basis{"x", func(x, s float64) float64 { return x }}
+	basisX2   = Basis{"x^2", func(x, s float64) float64 { return x * x }}
+	basisX3   = Basis{"x^3", func(x, s float64) float64 { return x * x * x }}
+	basisExp  = Basis{"e^x", func(x, s float64) float64 { return math.Exp(x / s) }}
+	basisXExp = Basis{"x·e^x", func(x, s float64) float64 { return x * math.Exp(x/s) }}
+	basisXLog = Basis{"x·ln x", func(x, s float64) float64 { return x * math.Log(clampPos(x)) }}
+	basisInv  = Basis{"1/x", func(x, s float64) float64 { return 1 / clampPos(x) }}
+)
+
+func clampPos(x float64) float64 {
+	if x < 1e-9 {
+		return 1e-9
+	}
+	return x
+}
+
+// Model is a fitted curve y(x) = Σ coef_i · basis_i(x).
+type Model struct {
+	Bases []Basis
+	Coef  linalg.Vector
+	Scale float64 // the x-scale used by exponential bases
+	R2    float64 // coefficient of determination on the fitting samples
+	AdjR2 float64 // adjusted for the number of coefficients
+}
+
+// Eval returns the model value at x.
+func (m Model) Eval(x float64) float64 {
+	var y float64
+	for i, b := range m.Bases {
+		y += m.Coef[i] * b.Eval(x, m.Scale)
+	}
+	return y
+}
+
+// Deriv returns a central-difference derivative at x, used by the
+// interior-point solver's Jacobians.
+func (m Model) Deriv(x float64) float64 {
+	h := 1e-6 * (math.Abs(x) + m.Scale*1e-3)
+	if h == 0 {
+		h = 1e-9
+	}
+	return (m.Eval(x+h) - m.Eval(x-h)) / (2 * h)
+}
+
+// String names the model, e.g. "0.3·x + 1.2·ln x (R²=0.98)".
+func (m Model) String() string {
+	var terms []string
+	for i, b := range m.Bases {
+		terms = append(terms, fmt.Sprintf("%.4g·%s", m.Coef[i], b.Name))
+	}
+	return fmt.Sprintf("%s (R²=%.3f)", strings.Join(terms, " + "), m.R2)
+}
+
+// MonotoneNonDecreasing reports whether the model is non-decreasing on a
+// grid over [lo, hi]. The block-size selector prefers monotone models
+// because real time-vs-size curves are monotone; a wiggly overfit would
+// mislead the equation solver.
+func (m Model) MonotoneNonDecreasing(lo, hi float64) bool {
+	const steps = 64
+	prev := m.Eval(lo)
+	for i := 1; i <= steps; i++ {
+		x := lo + (hi-lo)*float64(i)/steps
+		y := m.Eval(x)
+		if y < prev-1e-12*(math.Abs(prev)+1) {
+			return false
+		}
+		prev = y
+	}
+	return true
+}
+
+// candidateSets are the basis combinations the selector tries, from the
+// paper's set. The paper allows combinations; these cover the shapes of
+// Fig. 1 (linear CPU curves, saturating/superlinear GPU curves) without
+// inviting overfit on 4–8 samples.
+func candidateSets() [][]Basis {
+	return [][]Basis{
+		{basisOne, basisX},
+		{basisOne, basisLog},
+		{basisOne, basisX, basisLog},
+		{basisOne, basisX, basisXLog},
+		{basisOne, basisX, basisX2},
+		{basisOne, basisX, basisX2, basisX3},
+		{basisOne, basisX, basisExp},
+		{basisOne, basisX, basisXExp},
+		{basisOne, basisX, basisInv},
+		{basisOne, basisX, basisX2, basisLog},
+	}
+}
+
+// FitSamples fits y(x) to the samples by least squares over each candidate
+// basis set and returns the model with the best adjusted R², preferring
+// models monotone over the sampled range. xs must contain at least two
+// distinct values.
+func FitSamples(xs, ys []float64) (Model, error) {
+	_, hi := minMaxOrZero(xs)
+	return FitSamplesOver(xs, ys, hi*1.5)
+}
+
+// FitSamplesOver is FitSamples with an explicit evaluation horizon: the
+// chosen model must be non-decreasing over [min(xs), useHi]. Schedulers
+// extrapolate the fitted curves far beyond the probed block sizes when
+// solving the block-size system, and a polynomial that turns over outside
+// the sample range would tell the solver a slow device gets *faster* on
+// huge blocks — so candidates that misbehave anywhere in the usage range
+// are heavily penalized.
+func FitSamplesOver(xs, ys []float64, useHi float64) (Model, error) {
+	if len(xs) != len(ys) {
+		return Model{}, fmt.Errorf("fit: len(xs)=%d len(ys)=%d: %w", len(xs), len(ys), ErrTooFewPoints)
+	}
+	if len(xs) < 2 {
+		return Model{}, ErrTooFewPoints
+	}
+	scale, spread := sampleScale(xs)
+	if !spread {
+		return Model{}, ErrDegenerate
+	}
+	lo, hi := minMax(xs)
+	if useHi < hi {
+		useHi = hi
+	}
+	// Exponential bases are scaled by the *usage* horizon, not the sample
+	// maximum: e^(x/scale) then spans [1, e] over the whole range the model
+	// will be evaluated on. Scaled to the sample maximum instead, a tiny
+	// fitted coefficient on e^x would explode under extrapolation and tell
+	// the solver a fast device takes forever on large blocks.
+	if scale < useHi {
+		scale = useHi
+	}
+
+	var best Model
+	bestScore := math.Inf(-1)
+	found := false
+	for _, bases := range candidateSets() {
+		if len(xs) <= len(bases) {
+			// A saturated fit (as many parameters as points) interpolates
+			// the noise exactly and extrapolates wildly; skip it.
+			continue
+		}
+		m, err := fitBasis(bases, xs, ys, scale)
+		if err != nil {
+			continue
+		}
+		// Prefer parsimony on near-ties: with 4–8 probe samples every
+		// candidate reaches R² ≈ 1 and the extra terms only encode noise
+		// that explodes under extrapolation.
+		score := m.AdjR2 - 0.002*float64(len(bases))
+		if !m.MonotoneNonDecreasing(lo, useHi) {
+			// Penalize models that wiggle anywhere in the usage range; keep
+			// them only if nothing monotone fits at all.
+			score -= 1
+		}
+		if score > bestScore {
+			best, bestScore, found = m, score, true
+		}
+	}
+	if !found {
+		// Every candidate was skipped (e.g. only 2 points): fall back to
+		// the line, which needs two points and never explodes.
+		m, err := fitBasis([]Basis{basisOne, basisX}, xs, ys, scale)
+		if err != nil {
+			return Model{}, err
+		}
+		return m, nil
+	}
+	return best, nil
+}
+
+func minMaxOrZero(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	return minMax(xs)
+}
+
+// fitBasis solves the least-squares problem for one basis set.
+func fitBasis(bases []Basis, xs, ys []float64, scale float64) (Model, error) {
+	n, p := len(xs), len(bases)
+	a := linalg.NewMatrix(n, p)
+	for i, x := range xs {
+		for j, b := range bases {
+			a.Set(i, j, b.Eval(x, scale))
+		}
+	}
+	coef, err := linalg.LeastSquares(a, linalg.Vector(ys))
+	if err != nil {
+		return Model{}, err
+	}
+	if !coef.IsFinite() {
+		return Model{}, ErrDegenerate
+	}
+	m := Model{Bases: bases, Coef: coef, Scale: scale}
+	m.R2, m.AdjR2 = rsquared(m, xs, ys, p)
+	return m, nil
+}
+
+// rsquared computes R² and adjusted R² of model m on the samples.
+func rsquared(m Model, xs, ys []float64, p int) (r2, adj float64) {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i, x := range xs {
+		d := ys[i] - m.Eval(x)
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		// All y equal: a perfect fit has no residual; call it 1.
+		if ssRes < 1e-18 {
+			return 1, 1
+		}
+		return 0, 0
+	}
+	r2 = 1 - ssRes/ssTot
+	n := float64(len(xs))
+	den := n - float64(p) - 1
+	if den <= 0 {
+		return r2, r2
+	}
+	adj = 1 - (1-r2)*(n-1)/den
+	return r2, adj
+}
+
+// sampleScale returns the largest |x| and whether xs has ≥2 distinct values.
+func sampleScale(xs []float64) (scale float64, spread bool) {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	scale = math.Abs(s[len(s)-1])
+	if a := math.Abs(s[0]); a > scale {
+		scale = a
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return scale, s[0] != s[len(s)-1]
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Linear is the transfer-time model G_p[x] = A1·x + A2 of Eq. 2.
+type Linear struct {
+	A1, A2 float64 // bandwidth slope and latency intercept
+	R2     float64
+}
+
+// Eval returns the model value at x, floored at 0 (a transfer cannot take
+// negative time even if the fitted intercept dips below zero).
+func (l Linear) Eval(x float64) float64 {
+	y := l.A1*x + l.A2
+	if y < 0 {
+		return 0
+	}
+	return y
+}
+
+// Deriv returns the slope a₁ (0 when the floor is active).
+func (l Linear) Deriv(x float64) float64 {
+	if l.A1*x+l.A2 < 0 {
+		return 0
+	}
+	return l.A1
+}
+
+// FitLogCurve fits y(x) = a + b·ln x by least squares — the weight model
+// HDSS [19] uses for its FLOP/s-per-block-size curves.
+func FitLogCurve(xs, ys []float64) (Model, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Model{}, ErrTooFewPoints
+	}
+	scale, spread := sampleScale(xs)
+	if !spread {
+		return Model{}, ErrDegenerate
+	}
+	return fitBasis([]Basis{basisOne, basisLog}, xs, ys, scale)
+}
+
+// FitLinear fits G_p by ordinary least squares.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Linear{}, ErrTooFewPoints
+	}
+	scale, spread := sampleScale(xs)
+	if !spread {
+		return Linear{}, ErrDegenerate
+	}
+	m, err := fitBasis([]Basis{basisOne, basisX}, xs, ys, scale)
+	if err != nil {
+		return Linear{}, err
+	}
+	return Linear{A1: m.Coef[1], A2: m.Coef[0], R2: m.R2}, nil
+}

@@ -1,0 +1,243 @@
+// Package ipm implements the nonlinear solver behind the paper's block-size
+// selection (§III.C): given fitted per-unit time curves E_g, find the work
+// split x₁…x_n with Σx_g = Total that makes every processing unit finish at
+// the same time (Eqs. 3–5). The paper solves this with IPOPT's interior
+// point line-search filter method [25]; this package is a from-scratch
+// reimplementation of that method, sized for the small dense systems the
+// scheduler produces (a handful of processing units).
+//
+// The NLP is the makespan form: minimize τ subject to
+//
+//	E_g(x_g) − τ ≤ 0   (g = 1…n)
+//	Σ x_g = Total
+//	x_g ≥ 0
+//
+// whose KKT conditions at the optimum give E_g(x_g) = τ for every unit with
+// x_g > 0 — exactly the equal-finish-time condition (Eq. 4).
+//
+// The solver is a primal-dual interior-point method: slacks on the
+// inequalities, log barriers on slacks and bounds, Newton steps on the
+// perturbed KKT system (dense LU), a fraction-to-the-boundary rule, a
+// Wächter–Biegler-style filter line search, and an adaptive barrier-
+// parameter update in the spirit of [25]. A monotone τ-bisection fallback
+// (water-filling) guarantees a usable split whenever Newton stalls on a
+// pathological fitted curve.
+package ipm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Curve is one processing unit's total-time model E_g (processing + transfer).
+type Curve interface {
+	// Eval returns the modeled time to handle a block of size x.
+	Eval(x float64) float64
+	// Deriv returns dE/dx at x.
+	Deriv(x float64) float64
+}
+
+// Problem is the block-size selection instance.
+type Problem struct {
+	Curves []Curve
+	// Total is the amount of work to distribute (Σ x_g = Total).
+	Total float64
+}
+
+// Options tunes the solver. The zero value is replaced by defaults.
+type Options struct {
+	Tol         float64 // KKT residual tolerance (scaled); default 1e-8
+	MaxIter     int     // Newton iteration cap; default 100
+	Mu0         float64 // initial barrier parameter; default 0.1
+	DisableIPM  bool    // force the bisection fallback (for ablations)
+	DisableFall bool    // forbid the fallback (surface IPM failures)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Mu0 <= 0 {
+		o.Mu0 = 0.1
+	}
+	return o
+}
+
+// Result reports the computed distribution.
+type Result struct {
+	X            []float64 // block sizes, Σ = Total
+	Tau          float64   // common finish time
+	Iterations   int
+	Converged    bool // Newton reached tolerance (false when fallback used)
+	UsedFallback bool
+	KKTResidual  float64
+	WallTime     time.Duration
+}
+
+// ErrInfeasible is returned when no distribution exists (e.g. all curves
+// are +Inf — every device failed).
+var ErrInfeasible = errors.New("ipm: infeasible block-size problem")
+
+// ErrNoProgress is returned when the Newton iteration stalls and the
+// fallback is disabled.
+var ErrNoProgress = errors.New("ipm: no progress and fallback disabled")
+
+// Solve computes the equal-finish-time distribution.
+func Solve(p Problem, opt Options) (Result, error) {
+	start := time.Now()
+	opt = opt.withDefaults()
+	n := len(p.Curves)
+	if n == 0 || p.Total <= 0 {
+		return Result{}, fmt.Errorf("ipm: empty problem (n=%d total=%g)", n, p.Total)
+	}
+	// Exclude units with infinite time curves (failed devices): they get
+	// zero work and the remaining units share the total.
+	if active, excluded := partitionFinite(p); excluded {
+		if len(active) == 0 {
+			return Result{}, ErrInfeasible
+		}
+		sub := Problem{Total: p.Total}
+		for _, g := range active {
+			sub.Curves = append(sub.Curves, p.Curves[g])
+		}
+		res, err := Solve(sub, opt)
+		if err != nil {
+			return Result{}, err
+		}
+		x := make([]float64, n)
+		for i, g := range active {
+			x[g] = res.X[i]
+		}
+		res.X = x
+		res.WallTime = time.Since(start)
+		return res, nil
+	}
+	if n == 1 {
+		x := p.Total
+		return Result{
+			X: []float64{x}, Tau: p.Curves[0].Eval(x),
+			Converged: true, WallTime: time.Since(start),
+		}, nil
+	}
+
+	sc, err := newScaled(p)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if !opt.DisableIPM {
+		res, ok := solveIPM(sc, opt)
+		if ok {
+			res.WallTime = time.Since(start)
+			return res, nil
+		}
+	}
+	if opt.DisableFall {
+		return Result{}, ErrNoProgress
+	}
+	res, err := solveBisection(sc)
+	if err != nil {
+		return Result{}, err
+	}
+	res.UsedFallback = true
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// partitionFinite returns the indices of curves that evaluate finite at an
+// even split, and whether any curve had to be excluded.
+func partitionFinite(p Problem) (active []int, excluded bool) {
+	even := p.Total / float64(len(p.Curves))
+	for g, c := range p.Curves {
+		v := c.Eval(even)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			excluded = true
+			continue
+		}
+		active = append(active, g)
+	}
+	return active, excluded
+}
+
+// scaled holds the problem normalized for conditioning: work in units of
+// Total (so Σu = 1) and time in units of a typical finish time.
+type scaled struct {
+	p         Problem
+	n         int
+	timeScale float64
+}
+
+func newScaled(p Problem) (*scaled, error) {
+	n := len(p.Curves)
+	even := p.Total / float64(n)
+	ts := 0.0
+	finiteCurves := 0
+	for _, c := range p.Curves {
+		v := c.Eval(even)
+		if math.IsInf(v, 1) || math.IsNaN(v) {
+			continue
+		}
+		finiteCurves++
+		if v > ts {
+			ts = v
+		}
+	}
+	if finiteCurves == 0 {
+		return nil, ErrInfeasible
+	}
+	if ts <= 0 {
+		ts = 1
+	}
+	return &scaled{p: p, n: n, timeScale: ts}, nil
+}
+
+// eval returns the scaled time Ê_g(u) for scaled work u ∈ [0,1].
+func (s *scaled) eval(g int, u float64) float64 {
+	v := s.p.Curves[g].Eval(u*s.p.Total) / s.timeScale
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// deriv returns dÊ_g/du.
+func (s *scaled) deriv(g int, u float64) float64 {
+	return s.p.Curves[g].Deriv(u*s.p.Total) * s.p.Total / s.timeScale
+}
+
+// deriv2 returns a numeric second derivative d²Ê_g/du², guarded for
+// curves whose analytic derivative is noisy.
+func (s *scaled) deriv2(g int, u float64) float64 {
+	const h = 1e-5
+	d := (s.deriv(g, u+h) - s.deriv(g, math.Max(u-h, 1e-12))) / (2 * h)
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0
+	}
+	return d
+}
+
+// result converts a scaled solution back to problem units.
+func (s *scaled) result(u []float64, tau float64) Result {
+	x := make([]float64, s.n)
+	// Remove tiny interior-point slack from the bounds and renormalize so
+	// the block sizes sum to exactly Total.
+	var sum float64
+	for i, ui := range u {
+		if ui < 0 {
+			ui = 0
+		}
+		x[i] = ui
+		sum += ui
+	}
+	if sum > 0 {
+		for i := range x {
+			x[i] = x[i] / sum * s.p.Total
+		}
+	}
+	return Result{X: x, Tau: tau * s.timeScale}
+}

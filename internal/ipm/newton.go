@@ -1,0 +1,318 @@
+package ipm
+
+import (
+	"math"
+
+	"plbhec/internal/linalg"
+)
+
+// iterate is the primal-dual point: scaled work u, makespan tau, inequality
+// slacks s, inequality duals lambda, bound duals z, equality dual nu.
+type iterate struct {
+	u, s, lam, z linalg.Vector
+	tau, nu      float64
+}
+
+func (it *iterate) clone() *iterate {
+	return &iterate{
+		u: it.u.Clone(), s: it.s.Clone(), lam: it.lam.Clone(), z: it.z.Clone(),
+		tau: it.tau, nu: it.nu,
+	}
+}
+
+// solveIPM runs the primal-dual interior-point iteration on the scaled
+// problem. It returns ok=false when the iteration stalls or produces
+// non-finite values, in which case the caller falls back to bisection.
+func solveIPM(sc *scaled, opt Options) (Result, bool) {
+	n := sc.n
+	mu := opt.Mu0
+
+	it := initialPoint(sc, mu)
+	filter := newFilter()
+
+	const (
+		kappaEps   = 10.0  // inner tolerance: E_mu <= kappaEps*mu
+		kappaMu    = 0.2   // linear mu reduction factor
+		thetaMu    = 1.5   // superlinear mu reduction exponent
+		fracToBdry = 0.995 // fraction-to-the-boundary parameter
+	)
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		// Convergence check with mu = 0 (true KKT residual).
+		e0 := kktError(sc, it, 0)
+		if e0 <= opt.Tol {
+			res := sc.result(it.u, it.tau)
+			res.Converged = true
+			res.Iterations = iter - 1
+			res.KKTResidual = e0
+			return res, true
+		}
+		// Barrier update: tighten mu once the barrier subproblem is solved.
+		for kktError(sc, it, mu) <= kappaEps*mu && mu > opt.Tol/10 {
+			mu = math.Max(opt.Tol/10, math.Min(kappaMu*mu, math.Pow(mu, thetaMu)))
+			filter.reset()
+		}
+
+		// Assemble and solve the Newton system J*d = -R.
+		jac, res := kktSystem(sc, it, mu)
+		step, err := linalg.SolveLinear(jac, res.Scale(-1))
+		if err != nil || !step.IsFinite() {
+			return Result{}, false
+		}
+		du := step[0:n]
+		dtau := step[n]
+		ds := step[n+1 : 2*n+1]
+		dlam := step[2*n+1 : 3*n+1]
+		dz := step[3*n+1 : 4*n+1]
+		dnu := step[4*n+1]
+
+		// Fraction-to-the-boundary step limits for primal and dual parts.
+		aPrimal := maxStep(it.u, du, fracToBdry)
+		aPrimal = math.Min(aPrimal, maxStep(it.s, ds, fracToBdry))
+		aDual := maxStep(it.lam, dlam, fracToBdry)
+		aDual = math.Min(aDual, maxStep(it.z, dz, fracToBdry))
+
+		// Filter line search on the primal variables.
+		accepted := false
+		alpha := aPrimal
+		for trial := 0; trial < 40; trial++ {
+			cand := it.clone()
+			cand.u.AddScaled(alpha, du)
+			cand.tau += alpha * dtau
+			cand.s.AddScaled(alpha, ds)
+			th, ph := meritPair(sc, cand, mu)
+			if filter.acceptable(th, ph) && math.IsInf(th, 0) == false {
+				filter.add(th, ph)
+				it.u, it.tau, it.s = cand.u, cand.tau, cand.s
+				accepted = true
+				break
+			}
+			alpha /= 2
+			if alpha < 1e-12 {
+				break
+			}
+		}
+		if !accepted {
+			return Result{}, false
+		}
+		// Dual variables take the (possibly longer) dual step length.
+		it.lam.AddScaled(aDual, dlam)
+		it.z.AddScaled(aDual, dz)
+		it.nu += aDual * dnu
+
+		if !it.u.IsFinite() || !it.s.IsFinite() || !it.lam.IsFinite() || !it.z.IsFinite() {
+			return Result{}, false
+		}
+	}
+	// Out of iterations: accept only if reasonably converged.
+	e0 := kktError(sc, it, 0)
+	if e0 <= math.Sqrt(opt.Tol) {
+		res := sc.result(it.u, it.tau)
+		res.Converged = true
+		res.Iterations = opt.MaxIter
+		res.KKTResidual = e0
+		return res, true
+	}
+	return Result{}, false
+}
+
+// initialPoint places the iterate strictly inside the feasible region: even
+// split, makespan above every curve, consistent barrier duals.
+func initialPoint(sc *scaled, mu float64) *iterate {
+	n := sc.n
+	it := &iterate{
+		u: linalg.NewVector(n), s: linalg.NewVector(n),
+		lam: linalg.NewVector(n), z: linalg.NewVector(n),
+	}
+	even := 1.0 / float64(n)
+	worst := 0.0
+	for g := 0; g < n; g++ {
+		it.u[g] = even
+		if v := sc.eval(g, even); v > worst && !math.IsInf(v, 1) {
+			worst = v
+		}
+	}
+	it.tau = worst*1.1 + 0.1
+	for g := 0; g < n; g++ {
+		slack := it.tau - sc.eval(g, even)
+		if slack < 0.05 || math.IsNaN(slack) {
+			slack = 0.05
+		}
+		it.s[g] = slack
+		it.lam[g] = mu / slack
+		it.z[g] = mu / even
+	}
+	it.nu = 0
+	return it
+}
+
+// kktSystem builds the Jacobian and residual of the perturbed KKT
+// conditions at the current iterate. Variable order:
+// u(0..n-1), tau(n), s(n+1..2n), lam(2n+1..3n), z(3n+1..4n), nu(4n+1).
+func kktSystem(sc *scaled, it *iterate, mu float64) (*linalg.Matrix, linalg.Vector) {
+	n := sc.n
+	dim := 4*n + 2
+	jac := linalg.NewMatrix(dim, dim)
+	res := linalg.NewVector(dim)
+
+	iU := func(g int) int { return g }
+	iTau := n
+	iS := func(g int) int { return n + 1 + g }
+	iLam := func(g int) int { return 2*n + 1 + g }
+	iZ := func(g int) int { return 3*n + 1 + g }
+	iNu := 4*n + 1
+
+	for g := 0; g < n; g++ {
+		d1 := sc.deriv(g, it.u[g])
+		d2 := sc.deriv2(g, it.u[g])
+
+		// Stationarity wrt u_g: lam_g*E'_g + nu - z_g = 0.
+		r := iU(g)
+		res[r] = it.lam[g]*d1 + it.nu - it.z[g]
+		jac.Set(r, iU(g), it.lam[g]*d2)
+		jac.Set(r, iLam(g), d1)
+		jac.Set(r, iZ(g), -1)
+		jac.Set(r, iNu, 1)
+
+		// Inequality primal feasibility: E_g(u_g) - tau + s_g = 0.
+		r = iS(g)
+		res[r] = sc.eval(g, it.u[g]) - it.tau + it.s[g]
+		jac.Set(r, iU(g), d1)
+		jac.Set(r, iTau, -1)
+		jac.Set(r, iS(g), 1)
+
+		// Complementarity u_g*z_g = mu.
+		r = iZ(g)
+		res[r] = it.u[g]*it.z[g] - mu
+		jac.Set(r, iU(g), it.z[g])
+		jac.Set(r, iZ(g), it.u[g])
+
+		// Complementarity s_g*lam_g = mu.
+		r = iLam(g)
+		res[r] = it.s[g]*it.lam[g] - mu
+		jac.Set(r, iS(g), it.lam[g])
+		jac.Set(r, iLam(g), it.s[g])
+	}
+
+	// Stationarity wrt tau: 1 - sum(lam) = 0.
+	res[iTau] = 1
+	for g := 0; g < n; g++ {
+		res[iTau] -= it.lam[g]
+		jac.Set(iTau, iLam(g), -1)
+	}
+
+	// Equality: sum(u) - 1 = 0.
+	res[iNu] = -1
+	for g := 0; g < n; g++ {
+		res[iNu] += it.u[g]
+		jac.Set(iNu, iU(g), 1)
+	}
+	return jac, res
+}
+
+// kktError is the max-norm of the KKT residual with barrier parameter mu
+// (mu = 0 gives the true optimality error).
+func kktError(sc *scaled, it *iterate, mu float64) float64 {
+	n := sc.n
+	var e float64
+	up := func(v float64) {
+		if a := math.Abs(v); a > e {
+			e = a
+		}
+	}
+	sumLam, sumU := 0.0, 0.0
+	for g := 0; g < n; g++ {
+		d1 := sc.deriv(g, it.u[g])
+		up(it.lam[g]*d1 + it.nu - it.z[g])
+		up(sc.eval(g, it.u[g]) - it.tau + it.s[g])
+		up(it.u[g]*it.z[g] - mu)
+		up(it.s[g]*it.lam[g] - mu)
+		sumLam += it.lam[g]
+		sumU += it.u[g]
+	}
+	up(1 - sumLam)
+	up(sumU - 1)
+	return e
+}
+
+// meritPair returns the filter coordinates of an iterate: primal
+// infeasibility theta and barrier objective phi.
+func meritPair(sc *scaled, it *iterate, mu float64) (theta, phi float64) {
+	n := sc.n
+	for g := 0; g < n; g++ {
+		theta += math.Abs(sc.eval(g, it.u[g]) - it.tau + it.s[g])
+	}
+	sum := 0.0
+	for _, u := range it.u {
+		sum += u
+	}
+	theta += math.Abs(sum - 1)
+
+	phi = it.tau
+	for g := 0; g < n; g++ {
+		if it.u[g] <= 0 || it.s[g] <= 0 {
+			return theta, math.Inf(1)
+		}
+		phi -= mu * (math.Log(it.u[g]) + math.Log(it.s[g]))
+	}
+	return theta, phi
+}
+
+// maxStep returns the largest alpha in (0,1] with v + alpha*dv >= (1-frac)*v
+// componentwise (the fraction-to-the-boundary rule for positive variables).
+func maxStep(v, dv linalg.Vector, frac float64) float64 {
+	alpha := 1.0
+	for i, vi := range v {
+		if dv[i] < 0 {
+			a := -frac * vi / dv[i]
+			if a < alpha {
+				alpha = a
+			}
+		}
+	}
+	if alpha <= 0 {
+		alpha = 1e-16
+	}
+	return alpha
+}
+
+// filter is a Wächter–Biegler acceptance filter: a set of
+// (infeasibility, objective) pairs that no accepted iterate may be
+// dominated by.
+type filterSet struct {
+	entries [][2]float64
+}
+
+func newFilter() *filterSet { return &filterSet{} }
+
+func (f *filterSet) reset() { f.entries = f.entries[:0] }
+
+const (
+	gammaTheta = 1e-5
+	gammaPhi   = 1e-5
+)
+
+// acceptable reports whether (theta, phi) improves on every filter entry in
+// at least one coordinate by the required margin.
+func (f *filterSet) acceptable(theta, phi float64) bool {
+	if math.IsNaN(theta) || math.IsNaN(phi) {
+		return false
+	}
+	for _, e := range f.entries {
+		if theta >= (1-gammaTheta)*e[0] && phi >= e[1]-gammaPhi*e[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// add inserts an accepted pair, pruning entries it dominates.
+func (f *filterSet) add(theta, phi float64) {
+	kept := f.entries[:0]
+	for _, e := range f.entries {
+		if !(theta <= e[0] && phi <= e[1]) {
+			kept = append(kept, e)
+		}
+	}
+	f.entries = append(kept, [2]float64{theta, phi})
+}

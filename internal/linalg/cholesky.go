@@ -1,0 +1,67 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive definite matrix a (only the lower triangle of a is read). It
+// returns ErrSingular if a is not positive definite.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b given the factorization.
+func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	n := c.l.Rows
+	if len(b) != n {
+		return nil, ErrDimension
+	}
+	// Forward: L·y = b.
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			y[i] -= c.l.At(i, j) * y[j]
+		}
+		y[i] /= c.l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			y[i] -= c.l.At(j, i) * y[j]
+		}
+		y[i] /= c.l.At(i, i)
+	}
+	return y, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }

@@ -1,0 +1,114 @@
+package linalg
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, stored packed in lu.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int // +1 or -1, parity of the permutation
+}
+
+// FactorLU computes the LU factorization of the square matrix a with partial
+// (row) pivoting. It returns ErrSingular if a zero pivot is met; the
+// factorization object is still returned for inspection.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p, pmax := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return f, ErrSingular
+		}
+		if p != k {
+			rk := lu.Data[k*n : (k+1)*n]
+			rp := lu.Data[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri := lu.Data[i*n : (i+1)*n]
+			rk := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization. b is not modified.
+func (f *LU) Solve(b Vector) (Vector, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, ErrDimension
+	}
+	x := NewVector(n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear factors a and solves a·x = b in one call. a and b are
+// unmodified.
+func SolveLinear(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

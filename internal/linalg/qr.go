@@ -1,0 +1,133 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix with m ≥ n:
+// A = Q·R. The factors are stored packed: the upper triangle of qr holds R,
+// the lower part holds the Householder vectors, and tau the scalar factors.
+type QR struct {
+	qr    *Matrix
+	tau   Vector
+	rdiag Vector // diagonal of R, one entry per column
+}
+
+// FactorQR computes the Householder QR factorization of a (m ≥ n required).
+func FactorQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrDimension
+	}
+	f := &QR{qr: a.Clone(), tau: NewVector(n)}
+	qr := f.qr
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			f.tau[k] = 0
+			f.rdiag = append(f.rdiag, 0)
+			continue
+		}
+		if qr.At(k, k) > 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Add(k, k, 1)
+		f.tau[k] = qr.At(k, k)
+		// Apply the reflector to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Add(i, j, s*qr.At(i, k))
+			}
+		}
+		f.rdiag = append(f.rdiag, -norm)
+	}
+	return f, nil
+}
+
+// Solve computes the least-squares solution x minimizing ‖A·x − b‖₂.
+// It returns ErrSingular if R has a zero diagonal entry (rank-deficient A).
+func (f *QR) Solve(b Vector) (Vector, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, ErrDimension
+	}
+	y := b.Clone()
+	// Apply Qᵀ to y.
+	for k := 0; k < n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y[0:n].
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.rdiag[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// RDiag returns the diagonal of R; near-zero entries signal rank deficiency.
+func (f *QR) RDiag() Vector { return f.rdiag.Clone() }
+
+// LeastSquares solves min ‖A·x − b‖₂ via QR. If A is rank-deficient it
+// retries with a small ridge penalty (Tikhonov regularization), which the
+// curve-fitting layer relies on for nearly collinear basis functions.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	x, err := f.Solve(b)
+	if err == nil && Vector(x).IsFinite() {
+		return x, nil
+	}
+	return RidgeLeastSquares(a, b, 1e-8)
+}
+
+// RidgeLeastSquares solves min ‖A·x − b‖² + λ‖x‖² via the augmented system
+// [A; √λ·I]·x = [b; 0], which stays full rank for λ > 0.
+func RidgeLeastSquares(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	if lambda <= 0 {
+		return nil, ErrSingular
+	}
+	m, n := a.Rows, a.Cols
+	aug := NewMatrix(m+n, n)
+	copy(aug.Data[:m*n], a.Data)
+	s := math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		aug.Set(m+i, i, s)
+	}
+	rhs := NewVector(m + n)
+	copy(rhs, b)
+	f, err := FactorQR(aug)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(rhs)
+}

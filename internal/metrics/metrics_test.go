@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"plbhec/internal/starpu"
+)
+
+func sampleReport() *starpu.Report {
+	return &starpu.Report{
+		SchedulerName: "test",
+		AppName:       "app",
+		Makespan:      10,
+		PUNames:       []string{"pu0", "pu1"},
+		TotalUnits:    100,
+		Records: []starpu.TaskRecord{
+			{PU: 0, Units: 60, SubmitTime: 0, TransferStart: 0, TransferEnd: 1, ExecStart: 1, ExecEnd: 8},
+			{PU: 1, Units: 40, SubmitTime: 0, TransferStart: 0, TransferEnd: 0.5, ExecStart: 0.5, ExecEnd: 4},
+			{PU: 1, Units: 0, SubmitTime: 4, TransferStart: 4, TransferEnd: 4, ExecStart: 4, ExecEnd: 6},
+		},
+		Distributions: []starpu.Distribution{
+			{Label: "first", Time: 1, X: []float64{0.7, 0.3}},
+			{Label: "last", Time: 5, X: []float64{0.5, 0.5}},
+		},
+	}
+}
+
+func TestUsage(t *testing.T) {
+	us := Usage(sampleReport())
+	if len(us) != 2 {
+		t.Fatalf("usage entries = %d", len(us))
+	}
+	if us[0].BusySeconds != 7 || us[0].Tasks != 1 || us[0].Units != 60 {
+		t.Errorf("pu0 usage = %+v", us[0])
+	}
+	if us[1].BusySeconds != 5.5 || us[1].Tasks != 2 {
+		t.Errorf("pu1 usage = %+v", us[1])
+	}
+	if math.Abs(us[0].IdleFraction-0.3) > 1e-12 {
+		t.Errorf("pu0 idle = %g, want 0.3", us[0].IdleFraction)
+	}
+	if math.Abs(us[1].IdleFraction-0.45) > 1e-12 {
+		t.Errorf("pu1 idle = %g, want 0.45", us[1].IdleFraction)
+	}
+}
+
+func TestMeanIdle(t *testing.T) {
+	if got := MeanIdle(sampleReport()); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("MeanIdle = %g, want 0.375", got)
+	}
+	empty := &starpu.Report{PUNames: nil}
+	if MeanIdle(empty) != 0 {
+		t.Error("empty report should have 0 idleness")
+	}
+}
+
+func TestUnitsShare(t *testing.T) {
+	s := UnitsShare(sampleReport())
+	if math.Abs(s[0]-0.6) > 1e-12 || math.Abs(s[1]-0.4) > 1e-12 {
+		t.Errorf("shares = %v", s)
+	}
+}
+
+func TestDistributionSelectors(t *testing.T) {
+	rep := sampleReport()
+	if got := ModelingDistribution(rep); got[0] != 0.7 {
+		t.Errorf("ModelingDistribution = %v", got)
+	}
+	if got := FinalDistribution(rep); got[0] != 0.5 {
+		t.Errorf("FinalDistribution = %v", got)
+	}
+	none := &starpu.Report{}
+	if ModelingDistribution(none) != nil || FinalDistribution(none) != nil {
+		t.Error("no distributions should yield nil")
+	}
+}
+
+func TestGanttOrderingAndKinds(t *testing.T) {
+	ivs := Gantt(sampleReport())
+	if len(ivs) != 5 {
+		t.Fatalf("intervals = %d, want 5 (2 transfers + 3 execs)", len(ivs))
+	}
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].Start {
+			t.Error("intervals not sorted by start")
+		}
+	}
+	kinds := map[string]int{}
+	for _, iv := range ivs {
+		kinds[iv.Kind]++
+	}
+	if kinds["transfer"] != 2 || kinds["exec"] != 3 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	out := RenderGantt(sampleReport(), 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "pu0") || !strings.Contains(lines[0], "█") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if !strings.Contains(out, "10.000s") {
+		t.Errorf("missing makespan label: %q", lines[2])
+	}
+	if got := RenderGantt(&starpu.Report{}, 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty render = %q", got)
+	}
+}

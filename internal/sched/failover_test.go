@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/starpu"
+)
+
+// runWithFailure executes MM on 2 machines and kills the given device at
+// failAt (simulated seconds).
+func runWithFailure(t *testing.T, s starpu.Scheduler, pick func(*cluster.Cluster) interface{ SetSpeedFactor(float64) }, failAt float64) *starpu.Report {
+	t.Helper()
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 4, NoiseSigma: cluster.DefaultNoiseSigma})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 32768})
+	sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+	dev := pick(clu)
+	if err := sess.ScheduleAt(failAt, func() { dev.SetSpeedFactor(0) }); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run(s)
+	if err != nil {
+		t.Fatalf("%s did not survive the failure: %v", s.Name(), err)
+	}
+	var total int64
+	for _, r := range rep.Records {
+		total += r.Units
+	}
+	if total != app.TotalUnits() {
+		t.Fatalf("%s: processed %d of %d units after failure", s.Name(), total, app.TotalUnits())
+	}
+	return rep
+}
+
+func remoteGPU(clu *cluster.Cluster) interface{ SetSpeedFactor(float64) } {
+	return clu.Machines[1].GPUs[0]
+}
+
+func remoteCPU(clu *cluster.Cluster) interface{ SetSpeedFactor(float64) } {
+	return clu.Machines[1].CPU
+}
+
+// TestFailoverPLBHeC: the paper's §VI fault-tolerance scenario — a device
+// becomes unavailable mid-run and the data is redistributed among the
+// remaining units.
+func TestFailoverPLBHeC(t *testing.T) {
+	rep := runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteGPU, 15)
+	if rep.SchedStats["failures"] != 1 {
+		t.Errorf("failures = %g, want 1", rep.SchedStats["failures"])
+	}
+	// The dead GPU (PU 3 = B/GTX 295) must receive no tasks after death:
+	// every record on it must have been submitted before the failure.
+	for _, r := range rep.Records {
+		if r.PU == 3 && r.SubmitTime > 15 {
+			t.Errorf("task submitted to failed unit at t=%.3f", r.SubmitTime)
+		}
+	}
+}
+
+func TestFailoverPLBHeCCPUDeath(t *testing.T) {
+	runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteCPU, 20)
+}
+
+func TestFailoverGreedy(t *testing.T) {
+	runWithFailure(t, NewGreedy(Config{InitialBlockSize: 16}), remoteGPU, 15)
+}
+
+func TestFailoverHDSS(t *testing.T) {
+	runWithFailure(t, NewHDSS(Config{InitialBlockSize: 16}), remoteGPU, 15)
+}
+
+func TestFailoverAcosta(t *testing.T) {
+	runWithFailure(t, NewAcosta(Config{InitialBlockSize: 16}), remoteGPU, 15)
+}
+
+// TestFailoverEarly kills a device during the modeling phase, before the
+// first distribution exists.
+func TestFailoverEarly(t *testing.T) {
+	runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteGPU, 0.5)
+}

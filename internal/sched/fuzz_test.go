@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/starpu"
+)
+
+// TestSchedulerInvariantsFuzz drives every scheduler through randomized
+// scenarios — machine counts, applications, sizes, block sizes, noise and
+// seeds — and checks the universal invariants: every unit of work is
+// processed exactly once, records are well-formed, per-unit executions
+// never overlap, and the recorded distributions are normalized.
+func TestSchedulerInvariantsFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz-style sweep")
+	}
+	mks := []func(blk float64) starpu.Scheduler{
+		func(blk float64) starpu.Scheduler { return NewGreedy(Config{InitialBlockSize: blk}) },
+		func(blk float64) starpu.Scheduler { return NewAcosta(Config{InitialBlockSize: blk}) },
+		func(blk float64) starpu.Scheduler { return NewHDSS(Config{InitialBlockSize: blk}) },
+		func(blk float64) starpu.Scheduler { return NewPLBHeC(Config{InitialBlockSize: blk}) },
+		func(blk float64) starpu.Scheduler { return NewStatic() },
+		func(blk float64) starpu.Scheduler { return NewWeightedFactoring(Config{InitialBlockSize: blk}, nil) },
+		func(blk float64) starpu.Scheduler { return NewStaticProfile(nil) },
+	}
+
+	f := func(schedIdx, machines8, appIdx, sizeExp, blkExp, noise8 uint8, seed int64) bool {
+		mk := mks[int(schedIdx)%len(mks)]
+		machines := 1 + int(machines8)%4
+		size := int64(64) << (sizeExp % 7) // 64 … 4096 units
+		blk := float64(int64(1) << (blkExp % 6))
+		noise := float64(noise8%4) * 0.01
+
+		var app *apps.App
+		switch appIdx % 3 {
+		case 0:
+			app = apps.NewMatMul(apps.MatMulConfig{N: size})
+		case 1:
+			app = apps.NewGRN(apps.GRNConfig{Genes: size, Samples: 16})
+		default:
+			app = apps.NewBlackScholes(apps.BlackScholesConfig{Options: size, Paths: 512, Steps: 32})
+		}
+
+		clu := cluster.TableI(cluster.Config{Machines: machines, Seed: seed, NoiseSigma: noise})
+		rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(mk(blk))
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+
+		// Work conservation and range disjointness.
+		covered := make([]bool, size)
+		for _, r := range rep.Records {
+			if r.Lo < 0 || r.Hi > size || r.Lo >= r.Hi {
+				t.Logf("bad range [%d,%d)", r.Lo, r.Hi)
+				return false
+			}
+			for i := r.Lo; i < r.Hi; i++ {
+				if covered[i] {
+					t.Logf("unit %d processed twice", i)
+					return false
+				}
+				covered[i] = true
+			}
+			if !(r.SubmitTime <= r.TransferStart && r.TransferStart <= r.TransferEnd &&
+				r.TransferEnd <= r.ExecStart && r.ExecStart <= r.ExecEnd) {
+				t.Logf("inconsistent times: %+v", r)
+				return false
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Logf("unit %d never processed", i)
+				return false
+			}
+		}
+		// Per-PU executions sequential.
+		lastEnd := map[int]float64{}
+		for _, r := range rep.Records {
+			if r.ExecStart < lastEnd[r.PU]-1e-12 {
+				t.Logf("overlap on PU %d", r.PU)
+				return false
+			}
+			if r.ExecEnd > lastEnd[r.PU] {
+				lastEnd[r.PU] = r.ExecEnd
+			}
+		}
+		// Distribution normalization.
+		for _, d := range rep.Distributions {
+			var sum float64
+			for _, x := range d.X {
+				if x < -1e-12 {
+					t.Logf("negative share %g", x)
+					return false
+				}
+				sum += x
+			}
+			if sum > 1.000001 || (sum != 0 && sum < 0.999999) {
+				t.Logf("distribution sums to %g", sum)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,598 @@
+package sched
+
+import (
+	"math"
+
+	"plbhec/internal/ipm"
+	"plbhec/internal/profile"
+	"plbhec/internal/starpu"
+)
+
+// PLBHeC is the paper's scheduler (Algorithm 2). It runs three phases:
+//
+//  1. Performance modeling (§III.B, Algorithm 1): four synchronized probing
+//     rounds whose block sizes start at InitialBlockSize and grow with
+//     multipliers 2, 4, 8, each unit's size scaled by t_f/t_k so rounds
+//     finish together; then least-squares fits of F_p and G_p, probing
+//     further (doubling the multiplier) until every fit reaches R² ≥ 0.7 or
+//     20% of the data has been consumed.
+//  2. Block-size selection (§III.C): the fitted equation system (Eq. 5) is
+//     solved with the interior-point method under Σx = remaining, x ≥ 0,
+//     equal-finish-time conditions; unit g receives blocks of size
+//     x_g/ExecutionSteps.
+//  3. Execution and rebalancing (§III.D): units re-request blocks of their
+//     selected size asynchronously; if two units' task finish times drift
+//     apart by more than Threshold × (typical block time), the scheduler
+//     refits the curves with all accumulated samples, re-solves, and
+//     redistributes after a synchronization — units that detect the
+//     threshold still receive one filler task while the others drain
+//     (Fig. 3).
+type PLBHeC struct {
+	Config
+	// Threshold is the rebalancing trigger as a fraction of a block's
+	// execution time (paper default: 10%).
+	Threshold float64
+	// ExecutionSteps splits each computed distribution into this many
+	// same-proportion tasks per unit, giving the execution phase the
+	// repeated-task structure of Fig. 3.
+	ExecutionSteps int
+	// ModelDataCap stops the modeling phase once this fraction of the data
+	// has been consumed (paper: 20%).
+	ModelDataCap float64
+	// MaxModelRounds bounds probing (safety net beyond the data cap).
+	MaxModelRounds int
+	// CoverageFactor: probing continues while a unit's anticipated
+	// execution block exceeds this multiple of its largest probe.
+	CoverageFactor float64
+	// Solver configures the interior-point method.
+	Solver ipm.Options
+
+	phase        int // modeling, executing, draining
+	sampler      *profile.Sampler
+	models       profile.Models
+	modelsOK     bool
+	round        int
+	mult         float64
+	roundTime    []float64 // per-PU duration of the current probing round's block
+	roundUnits   []float64 // per-PU size of the current probing round's block
+	roundPending int
+	usedUnits    float64 // units consumed by the modeling phase
+
+	share      []float64 // normalized distribution x_g (recorded for Fig. 6)
+	blockUnits []float64 // per-PU execution block size
+	lastFinish []float64 // per-PU most recent task finish time
+	lastDur    []float64 // per-PU most recent full-block duration
+	blockTime  float64   // EMA of execution-phase task durations
+	rebalance  bool
+	overCount  int // consecutive threshold detections (debounce)
+	// drainSeq and drainOld implement the synchronization of Fig. 3: tasks
+	// submitted before the threshold detection (Seq < drainSeq) must
+	// complete before the refit/re-solve; units stay fed with same-size
+	// filler tasks in the meantime so nobody idles through the drain.
+	drainSeq int
+	drainOld int
+	// thrScale adaptively widens the threshold: when a rebalance re-solves
+	// to (nearly) the same distribution, the observed imbalance is
+	// model-limited — re-synchronizing again would thrash without
+	// improving anything, so the tolerance doubles.
+	thrScale  float64
+	prevShare []float64
+	// dead marks processing units observed failed (speed factor 0); they
+	// are excluded from further block-size selections — the paper's §VI
+	// fault-tolerance scenario ("a simple redistribution of the data among
+	// the remaining devices").
+	dead []bool
+	// regime tracks, per unit, the EMA ratio of measured to model-predicted
+	// block times. A sustained drift means the unit's speed changed (cloud
+	// QoS); the sample history is rescaled before the rebalance refit so
+	// the fit sees one consistent regime.
+	regime []float64
+
+	stats plbStats
+	// firstModels snapshots the models used by the first solve (debugging
+	// and the Fig. 1 reproduction inspect them).
+	firstModels profile.Models
+}
+
+// FirstModels returns the models fitted at the end of the modeling phase.
+func (p *PLBHeC) FirstModels() profile.Models { return p.firstModels }
+
+type plbStats struct {
+	fits, solves, rebalances, fallbacks float64
+	solverSeconds                       float64
+	modelRounds                         float64
+	failures                            float64
+}
+
+const (
+	phaseModeling = iota
+	phaseExecuting
+	phaseDraining
+)
+
+// NewPLBHeC returns the scheduler with the paper's defaults.
+func NewPLBHeC(cfg Config) *PLBHeC {
+	return &PLBHeC{
+		Config:         cfg,
+		Threshold:      0.10,
+		ExecutionSteps: 4,
+		ModelDataCap:   0.20,
+		MaxModelRounds: 12,
+		CoverageFactor: 16,
+	}
+}
+
+// Name implements starpu.Scheduler.
+func (p *PLBHeC) Name() string { return "plb-hec" }
+
+// Stats implements starpu.StatsReporter.
+func (p *PLBHeC) Stats() map[string]float64 {
+	return map[string]float64{
+		"fits":           p.stats.fits,
+		"solves":         p.stats.solves,
+		"rebalances":     p.stats.rebalances,
+		"solverFallback": p.stats.fallbacks,
+		"solverSeconds":  p.stats.solverSeconds,
+		"modelRounds":    p.stats.modelRounds,
+		"modelUnits":     p.usedUnits,
+		"failures":       p.stats.failures,
+	}
+}
+
+// Start launches the first probing round: every unit gets a block of
+// InitialBlockSize.
+func (p *PLBHeC) Start(s *starpu.Session) {
+	n := len(s.PUs())
+	p.sampler = profile.NewSampler(n)
+	p.roundTime = make([]float64, n)
+	p.roundUnits = make([]float64, n)
+	p.lastFinish = make([]float64, n)
+	p.lastDur = make([]float64, n)
+	p.share = make([]float64, n)
+	p.blockUnits = make([]float64, n)
+	p.dead = make([]bool, n)
+	p.regime = make([]float64, n)
+	for i := range p.regime {
+		p.regime[i] = 1
+	}
+	p.phase = phaseModeling
+	p.round = 1
+	p.mult = 1
+	p.thrScale = 1
+
+	for _, pu := range s.PUs() {
+		if s.Remaining() == 0 {
+			break
+		}
+		got := s.Assign(pu, p.initialBlock())
+		p.usedUnits += float64(got)
+		if got > 0 {
+			p.roundPending++
+		}
+	}
+}
+
+// TaskFinished dispatches on the current phase.
+func (p *PLBHeC) TaskFinished(s *starpu.Session, rec starpu.TaskRecord) {
+	p.sampler.Add(rec.PU, float64(rec.Units), rec.ExecSeconds(), rec.TransferSeconds())
+	if p.scanFailures(s) && p.phase == phaseExecuting && s.Remaining() > 0 {
+		// A unit died: force a redistribution over the survivors.
+		p.rebalance = true
+	}
+	switch p.phase {
+	case phaseModeling:
+		p.modelingFinished(s, rec)
+	case phaseExecuting:
+		p.executingFinished(s, rec)
+	case phaseDraining:
+		p.drainingFinished(s, rec)
+	}
+}
+
+// --- Phase 1: performance modeling -----------------------------------------
+
+func (p *PLBHeC) modelingFinished(s *starpu.Session, rec starpu.TaskRecord) {
+	p.roundTime[rec.PU] = rec.ExecEnd - rec.TransferStart
+	p.roundUnits[rec.PU] = float64(rec.Units)
+	p.roundPending--
+	if p.roundPending > 0 {
+		return // the probing round is synchronized
+	}
+	p.stats.modelRounds++
+
+	if s.Remaining() == 0 {
+		return // the modeling phase consumed everything; run is complete
+	}
+
+	needMoreRounds := p.round < 4
+	if !needMoreRounds {
+		// Try to fit after the fourth round and after each extra round.
+		ms, err := p.sampler.FitAll(float64(s.Remaining()))
+		p.stats.fits++
+		s.ChargeFit()
+		if err == nil {
+			p.models, p.modelsOK = ms, true
+			capUnits := p.ModelDataCap * float64(s.TotalUnits())
+			if p.usedUnits >= capUnits || p.round >= p.MaxModelRounds {
+				p.beginExecution(s)
+				return
+			}
+			if ms.GoodEnough() && p.coverageOK(s) {
+				p.beginExecution(s)
+				return
+			}
+		}
+		// Fit failed, not good enough, or probes nowhere near the block
+		// sizes the fit will be used for: generate more points (Alg. 1).
+	}
+
+	p.round++
+	p.mult *= 2
+	sizes := profile.NextProbeSizes(p.mult, p.initialBlock(), p.roundUnits, p.roundTime)
+	// Never let one probing round exceed the remaining data.
+	var want float64
+	for _, sz := range sizes {
+		want += sz
+	}
+	if rem := float64(s.Remaining()); want > rem {
+		scale := rem / want
+		for i := range sizes {
+			sizes[i] *= scale
+		}
+	}
+	for i, pu := range s.PUs() {
+		if s.Remaining() == 0 {
+			break
+		}
+		if p.dead[i] {
+			continue
+		}
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		got := s.Assign(pu, sizes[i])
+		p.usedUnits += float64(got)
+		if got > 0 {
+			p.roundPending++
+		}
+	}
+	if p.roundPending == 0 && s.Remaining() > 0 {
+		// Could not submit anything (pathological); drop to execution with
+		// whatever model we have.
+		p.beginExecution(s)
+	}
+}
+
+// coverageOK reports whether every unit's largest probe is within a factor
+// CoverageFactor of the block size it is likely to receive in the execution
+// phase (estimated from measured throughputs, no solver needed). R² only
+// measures interpolation quality; this guards the *extrapolation* the
+// block-size selection will perform — an implementation refinement of
+// Algorithm 1's "generate more points" loop.
+func (p *PLBHeC) coverageOK(s *starpu.Session) bool {
+	n := p.sampler.NumPU()
+	rates := make([]float64, n)
+	maxProbe := make([]float64, n)
+	var sum float64
+	for pu := 0; pu < n; pu++ {
+		for _, sm := range p.sampler.Exec[pu] {
+			if sm.Units > maxProbe[pu] && sm.Seconds > 0 {
+				maxProbe[pu] = sm.Units
+				rates[pu] = sm.Units / sm.Seconds
+			}
+		}
+		sum += rates[pu]
+	}
+	if sum <= 0 {
+		return true
+	}
+	steps := float64(p.ExecutionSteps)
+	if steps < 1 {
+		steps = 1
+	}
+	for pu := 0; pu < n; pu++ {
+		anticipated := rates[pu] / sum * float64(s.Remaining()) / steps
+		if anticipated >= 1 && anticipated > p.CoverageFactor*maxProbe[pu] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Phase 2: block-size selection ------------------------------------------
+
+// beginExecution solves the fitted equation system for the remaining data
+// and submits the first execution-phase blocks.
+func (p *PLBHeC) beginExecution(s *starpu.Session) {
+	p.phase = phaseExecuting
+	if s.Remaining() == 0 {
+		return
+	}
+	if !p.modelsOK {
+		// No usable model (e.g. tiny inputs): degrade to even split.
+		p.evenShareAlive()
+	} else {
+		p.firstModels = p.models
+		p.solveDistribution(s)
+	}
+	s.RecordDistribution("modeling-phase", p.share)
+	p.submitBlocks(s)
+}
+
+// solveDistribution runs the interior-point solve of Eq. 5 over the
+// remaining units and derives per-unit block sizes.
+func (p *PLBHeC) solveDistribution(s *starpu.Session) {
+	remaining := float64(s.Remaining())
+	curves := p.models.Curves()
+	for i := range curves {
+		if p.dead[i] {
+			curves[i] = deadCurve{}
+		}
+	}
+	res, err := ipm.Solve(ipm.Problem{Curves: curves, Total: remaining}, p.Solver)
+	p.stats.solves++
+	s.ChargeSolve()
+	if err != nil {
+		// Unsolvable system: even split over survivors — still correct,
+		// just less optimal.
+		p.evenShareAlive()
+		return
+	}
+	p.stats.solverSeconds += res.WallTime.Seconds()
+	if res.UsedFallback {
+		p.stats.fallbacks++
+	}
+	for i, x := range res.X {
+		p.share[i] = x / remaining
+	}
+}
+
+// submitBlocks hands every unit its first block of the new distribution.
+func (p *PLBHeC) submitBlocks(s *starpu.Session) {
+	steps := p.ExecutionSteps
+	if steps < 1 {
+		steps = 1
+	}
+	remaining := float64(s.Remaining())
+	for i := range s.PUs() {
+		p.blockUnits[i] = p.share[i] * remaining / float64(steps)
+		p.lastFinish[i] = 0
+		p.lastDur[i] = 0
+	}
+	for i, pu := range s.PUs() {
+		if s.Remaining() == 0 {
+			break
+		}
+		if !p.dead[i] && p.blockUnits[i] >= 0.5 {
+			s.Assign(pu, p.blockUnits[i])
+		}
+	}
+	// Guard: if every share rounded to zero, give a surviving unit the rest.
+	if s.InFlight() == 0 && s.Remaining() > 0 {
+		p.keepAlive(s)
+	}
+}
+
+// --- Phase 3: execution and rebalancing -------------------------------------
+
+func (p *PLBHeC) executingFinished(s *starpu.Session, rec starpu.TaskRecord) {
+	p.lastFinish[rec.PU] = rec.ExecEnd
+	dur := rec.ExecEnd - rec.TransferStart
+	fullBlock := float64(rec.Units) >= 0.9*p.blockUnits[rec.PU]
+	if p.modelsOK && rec.Units > 0 {
+		if pred := p.models.PU[rec.PU].Eval(float64(rec.Units)); pred > 0 {
+			ratio := dur / pred
+			p.regime[rec.PU] = 0.5*p.regime[rec.PU] + 0.5*ratio
+		}
+	}
+	if fullBlock {
+		// Tail blocks clamped by the remaining data are intentionally
+		// smaller; only full blocks participate in imbalance detection.
+		p.lastDur[rec.PU] = dur
+		if p.blockTime == 0 {
+			p.blockTime = dur
+		} else {
+			p.blockTime = 0.7*p.blockTime + 0.3*dur
+		}
+	}
+
+	if s.Remaining() == 0 {
+		return
+	}
+
+	// Threshold detection (maxDifference in Algorithm 2): under the
+	// equal-time distribution every unit's block should take the same
+	// time, so compare full-block durations across units. The paper states
+	// a 10%-of-a-block-time threshold gives a good trade-off (§III.D).
+	// Detection is debounced over two consecutive completions so a single
+	// noisy measurement cannot force a synchronization, and suppressed in
+	// the tail (less than one round of work left), where a redistribution
+	// could not be acted on anyway.
+	tail := float64(s.Remaining()) < p.roundUnitsTotal()
+	if !p.rebalance && p.Threshold > 0 && fullBlock && !tail {
+		over := false
+		for j, d := range p.lastDur {
+			if j == rec.PU || d == 0 || p.blockUnits[j] < 0.5 {
+				continue
+			}
+			if math.Abs(dur-d) > p.Threshold*p.thrScale*p.blockTime {
+				over = true
+				break
+			}
+		}
+		if over {
+			p.overCount++
+		} else {
+			p.overCount = 0
+		}
+		if p.overCount >= 2 {
+			p.rebalance = true
+			p.overCount = 0
+		}
+	}
+
+	if p.rebalance {
+		// Enter the drain: the refit must wait for every task submitted
+		// before the detection, but units are kept fed with same-size
+		// blocks in the meantime (Fig. 3's "receives a new task, otherwise
+		// it would remain idle").
+		p.phase = phaseDraining
+		p.stats.rebalances++
+		p.drainSeq = s.NextSeq()
+		p.drainOld = s.InFlight()
+		p.drainingFinished(s, rec)
+		return
+	}
+
+	// Steady state: re-request a block of the same selected size.
+	if !p.dead[rec.PU] && p.blockUnits[rec.PU] >= 0.5 {
+		s.Assign(s.PUs()[rec.PU], p.blockUnits[rec.PU])
+		return
+	}
+	// Unit had no share (x_g = 0); it stays idle by design.
+	p.keepAlive(s)
+}
+
+// drainingFinished handles completions while a rebalance waits for the
+// synchronization point (all pre-detection tasks finished).
+func (p *PLBHeC) drainingFinished(s *starpu.Session, rec starpu.TaskRecord) {
+	p.lastFinish[rec.PU] = rec.ExecEnd
+	if rec.Seq < p.drainSeq {
+		p.drainOld--
+	}
+	if p.drainOld <= 0 {
+		// Synchronization reached: refit with every accumulated sample,
+		// re-solve, redistribute (Algorithm 2's rebalance branch). Units
+		// whose measured times drifted far from the model first have their
+		// history rescaled to the new regime.
+		for i := range p.regime {
+			if p.dead[i] {
+				continue
+			}
+			if p.regime[i] > 1.25 || p.regime[i] < 0.8 {
+				p.sampler.ScaleTimes(i, p.regime[i])
+				p.regime[i] = 1
+			}
+		}
+		if ms, err := p.sampler.FitAll(float64(s.Remaining())); err == nil {
+			p.models, p.modelsOK = ms, true
+		}
+		p.stats.fits++
+		s.ChargeFit()
+		p.rebalance = false
+		p.blockTime = 0
+		p.phase = phaseExecuting
+		if s.Remaining() > 0 {
+			p.prevShare = append(p.prevShare[:0], p.share...)
+			p.solveDistribution(s)
+			if l1Distance(p.share, p.prevShare) < 0.05 {
+				p.thrScale *= 2
+			}
+			s.RecordDistribution("rebalance", p.share)
+			// Units still running filler tasks adopt the new block sizes
+			// as they finish; only a fully drained session needs a fresh
+			// submission round.
+			remaining := float64(s.Remaining())
+			steps := float64(p.ExecutionSteps)
+			if steps < 1 {
+				steps = 1
+			}
+			for i := range s.PUs() {
+				p.blockUnits[i] = p.share[i] * remaining / steps
+				p.lastDur[i] = 0
+			}
+			if s.InFlight() == 0 {
+				p.submitBlocks(s)
+			} else if p.blockUnits[rec.PU] >= 0.5 && !p.dead[rec.PU] {
+				s.Assign(s.PUs()[rec.PU], p.blockUnits[rec.PU])
+			}
+		}
+		return
+	}
+	// The drain continues: keep this unit fed with a same-size block so it
+	// does not idle while the pre-detection tasks finish elsewhere.
+	if s.Remaining() > 0 && !p.dead[rec.PU] && p.blockUnits[rec.PU] >= 0.5 {
+		s.Assign(s.PUs()[rec.PU], p.blockUnits[rec.PU])
+		return
+	}
+	p.keepAlive(s)
+}
+
+// evenShareAlive spreads the distribution evenly over surviving units.
+func (p *PLBHeC) evenShareAlive() {
+	alive := 0
+	for i := range p.share {
+		if !p.dead[i] {
+			alive++
+		}
+	}
+	for i := range p.share {
+		if p.dead[i] || alive == 0 {
+			p.share[i] = 0
+		} else {
+			p.share[i] = 1 / float64(alive)
+		}
+	}
+}
+
+// deadCurve marks a failed unit for the solver: infinite time for any
+// block, so partitioning assigns it zero work.
+type deadCurve struct{}
+
+// Eval implements ipm.Curve.
+func (deadCurve) Eval(x float64) float64 { return math.Inf(1) }
+
+// Deriv implements ipm.Curve.
+func (deadCurve) Deriv(x float64) float64 { return 0 }
+
+// scanFailures records newly failed units and reports whether any unit
+// died since the last scan.
+func (p *PLBHeC) scanFailures(s *starpu.Session) bool {
+	changed := false
+	for i, pu := range s.PUs() {
+		if !p.dead[i] && pu.Dev.Failed() {
+			p.dead[i] = true
+			p.share[i] = 0
+			p.blockUnits[i] = 0
+			p.stats.failures++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// l1Distance returns Σ|a_i − b_i|.
+func l1Distance(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// roundUnitsTotal is one execution round's worth of work (Σ block sizes).
+func (p *PLBHeC) roundUnitsTotal() float64 {
+	var sum float64
+	for _, b := range p.blockUnits {
+		sum += b
+	}
+	return sum
+}
+
+// keepAlive prevents a stall when work remains but every active unit went
+// idle because its computed share was zero: the fastest-known unit absorbs
+// the remainder.
+func (p *PLBHeC) keepAlive(s *starpu.Session) {
+	if s.InFlight() > 0 || s.Remaining() == 0 {
+		return
+	}
+	best, bestShare := -1, -1.0
+	for i, sh := range p.share {
+		if !p.dead[i] && sh > bestShare {
+			best, bestShare = i, sh
+		}
+	}
+	if best >= 0 {
+		s.Assign(s.PUs()[best], float64(s.Remaining()))
+	}
+}

@@ -1,0 +1,92 @@
+// Package sched implements the four load-balancing policies the paper
+// evaluates (§IV):
+//
+//   - PLBHeC — the paper's contribution: online performance-curve modeling,
+//     block-size selection by an interior-point solve of the fitted
+//     equation system, and threshold-triggered rebalancing (Algorithm 2).
+//   - Greedy — StarPU's default: fixed-size blocks to any idle unit.
+//   - HDSS — Belviranli et al. [19]: adaptive phase fitting log-curve
+//     weights, then a completion phase with decreasing block sizes.
+//   - Acosta — Acosta et al. [18]: iterative relative-power rebalancing
+//     with a synchronization barrier per iteration.
+//
+// A Static oracle (perfect-knowledge split, zero overhead) is provided for
+// ablations.
+//
+// All policies drive the same starpu.Scheduler hook surface, so any of them
+// can run on the simulated Table I cluster or on live goroutine workers.
+package sched
+
+import "plbhec/internal/starpu"
+
+// Config carries the knobs shared by every policy.
+type Config struct {
+	// InitialBlockSize is the first probe/block size in work units. The
+	// paper sets it empirically per application "so that the initial phase
+	// takes about 10% of execution time" and uses the same value for every
+	// algorithm.
+	InitialBlockSize float64
+}
+
+func (c Config) initialBlock() float64 {
+	if c.InitialBlockSize <= 0 {
+		return 1
+	}
+	return c.InitialBlockSize
+}
+
+// Greedy is StarPU's default dispatcher: the input is cut in fixed-size
+// pieces handed to whichever processing unit is idle (§IV: "assigning each
+// piece of input to any idle processing unit, without any priority").
+type Greedy struct {
+	Config
+	// Prefetch keeps this many blocks queued per unit (StarPU-style data
+	// prefetching: the next block's transfer overlaps the current block's
+	// kernel). 0 or 1 means no prefetching.
+	Prefetch int
+}
+
+// NewGreedy returns a greedy scheduler with the given block size.
+func NewGreedy(cfg Config) *Greedy { return &Greedy{Config: cfg} }
+
+// Name implements starpu.Scheduler.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Start hands each unit its initial queue of blocks (one, or Prefetch).
+func (g *Greedy) Start(s *starpu.Session) {
+	depth := g.Prefetch
+	if depth < 1 {
+		depth = 1
+	}
+	for d := 0; d < depth; d++ {
+		for _, pu := range s.PUs() {
+			if s.Remaining() == 0 {
+				return
+			}
+			if !pu.Dev.Failed() {
+				s.Assign(pu, g.initialBlock())
+			}
+		}
+	}
+}
+
+// TaskFinished immediately re-feeds the unit that became idle, falling
+// back to any surviving unit if it failed mid-run.
+func (g *Greedy) TaskFinished(s *starpu.Session, rec starpu.TaskRecord) {
+	if s.Remaining() == 0 {
+		return
+	}
+	pu := s.PUs()[rec.PU]
+	if pu.Dev.Failed() {
+		for _, other := range s.PUs() {
+			if !other.Dev.Failed() {
+				pu = other
+				break
+			}
+		}
+		if pu.Dev.Failed() {
+			return // every unit failed; the runtime will report the stall
+		}
+	}
+	s.Assign(pu, g.initialBlock())
+}

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/metrics"
+	"plbhec/internal/starpu"
+)
+
+// runScenario executes one (app, cluster, scheduler) combination and
+// returns the report.
+func runScenario(t *testing.T, machines int, app *apps.App, mk func() starpu.Scheduler) *starpu.Report {
+	t.Helper()
+	clu := cluster.TableI(cluster.Config{
+		Machines: machines, Seed: 1, NoiseSigma: cluster.DefaultNoiseSigma,
+	})
+	sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+	rep, err := sess.Run(mk())
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return rep
+}
+
+// TestPaperOrderingMM reproduces the paper's headline shape on the
+// 4-machine heterogeneous cluster with a large matrix multiplication
+// (§V.a): PLB-HeC fastest, then HDSS, then Acosta and greedy; and PLB-HeC
+// idles less than HDSS (Fig. 7).
+func TestPaperOrderingMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ordering comparison")
+	}
+	app := apps.NewMatMul(apps.MatMulConfig{N: 49152})
+	blk := 8.0
+	makers := map[string]func() starpu.Scheduler{
+		"greedy": func() starpu.Scheduler { return NewGreedy(Config{InitialBlockSize: blk}) },
+		"acosta": func() starpu.Scheduler { return NewAcosta(Config{InitialBlockSize: blk}) },
+		"hdss":   func() starpu.Scheduler { return NewHDSS(Config{InitialBlockSize: blk}) },
+		"plbhec": func() starpu.Scheduler { return NewPLBHeC(Config{InitialBlockSize: blk}) },
+		"oracle": func() starpu.Scheduler { return NewStatic() },
+	}
+	makespans := map[string]float64{}
+	idles := map[string]float64{}
+	for name, mk := range makers {
+		rep := runScenario(t, 4, app, mk)
+		makespans[name] = rep.Makespan
+		idles[name] = metrics.MeanIdle(rep)
+		var units int64
+		for _, r := range rep.Records {
+			units += r.Units
+		}
+		if units != app.TotalUnits() {
+			t.Errorf("%s: processed %d units, want %d", name, units, app.TotalUnits())
+		}
+		t.Logf("%-8s makespan=%8.3fs meanIdle=%5.1f%% tasks=%d",
+			name, rep.Makespan, 100*idles[name], len(rep.Records))
+	}
+	order := []string{"oracle", "plbhec", "hdss", "acosta", "greedy"}
+	for i := 0; i+1 < len(order); i++ {
+		a, b := order[i], order[i+1]
+		if makespans[a] >= makespans[b] {
+			t.Errorf("expected %s (%.2fs) faster than %s (%.2fs)", a, makespans[a], b, makespans[b])
+		}
+	}
+	if idles["plbhec"] >= idles["hdss"] {
+		t.Errorf("PLB-HeC idleness (%.1f%%) should be below HDSS (%.1f%%), as in Fig. 7",
+			100*idles["plbhec"], 100*idles["hdss"])
+	}
+	// Headline factor: PLB-HeC speedup over greedy around 2.2 (paper), at
+	// least 1.5 and at most 4 in our simulator.
+	sp := makespans["greedy"] / makespans["plbhec"]
+	if sp < 1.5 || sp > 4 {
+		t.Errorf("PLB-HeC speedup vs greedy = %.2f, expected the paper's ~2.2 regime", sp)
+	}
+}

@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		var step func()
+		n := 0
+		step = func() {
+			if n < 1000 {
+				n++
+				e.After(1, step)
+			}
+		}
+		e.After(1, step)
+		e.Run()
+	}
+}
+
+func BenchmarkResourceAcquire(b *testing.B) {
+	e := New()
+	r := NewResource(e, "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(1, nil)
+	}
+}

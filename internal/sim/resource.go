@@ -1,0 +1,60 @@
+package sim
+
+// Resource models a serially shared facility — a network link or a PCIe
+// bus — on which transfers queue FIFO. Acquire gives the caller exclusive
+// use for a duration; overlapping requests are serialized in arrival order,
+// which is how a single NIC behaves when several processing units on one
+// machine fetch blocks from the master concurrently.
+type Resource struct {
+	eng  *Engine
+	name string
+	// freeAt is the earliest time the resource is available again.
+	freeAt float64
+	// busy accumulates total occupied seconds, for utilization reporting.
+	busy float64
+}
+
+// NewResource creates a named FIFO resource on engine eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire reserves the resource for hold seconds starting at the earliest
+// available slot at or after virtual now, then invokes done(start, end) when
+// the hold finishes. It returns the scheduled (start, end) times
+// immediately, so callers can chain dependent events.
+func (r *Resource) Acquire(hold float64, done func(start, end float64)) (start, end float64) {
+	return r.AcquireAfter(r.eng.Now(), hold, done)
+}
+
+// AcquireAfter is Acquire with an additional lower bound on the start time,
+// used to chain reservations across resources (a PCIe transfer cannot start
+// before the network transfer feeding it has finished).
+func (r *Resource) AcquireAfter(earliest, hold float64, done func(start, end float64)) (start, end float64) {
+	if hold < 0 {
+		panic("sim: negative hold time")
+	}
+	start = r.eng.Now()
+	if earliest > start {
+		start = earliest
+	}
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + hold
+	r.freeAt = end
+	r.busy += hold
+	if done != nil {
+		r.eng.At(end, func() { done(start, end) })
+	}
+	return start, end
+}
+
+// BusySeconds returns total seconds the resource has been occupied.
+func (r *Resource) BusySeconds() float64 { return r.busy }
+
+// FreeAt returns the earliest time the resource becomes available.
+func (r *Resource) FreeAt() float64 { return r.freeAt }

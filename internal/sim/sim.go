@@ -1,0 +1,118 @@
+// Package sim implements the discrete-event simulation kernel that stands in
+// for the paper's physical testbed. It provides a virtual clock, an event
+// queue ordered by (time, sequence), and FIFO resources used to model
+// serialized communication links (Ethernet NICs, PCIe buses).
+//
+// The kernel is deliberately single-threaded: determinism matters more than
+// host parallelism here, because every experiment must be exactly
+// reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	nSteps uint64
+}
+
+// New returns an empty simulation engine at time 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a model bug, and silently clamping would mask
+// causality violations.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: t=%g now=%g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: event scheduled at NaN time")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline; later events stay queued.
+// It returns the current time when it stops.
+func (e *Engine) RunUntil(deadline float64) float64 {
+	for e.queue.Len() > 0 && e.queue[0].t <= deadline {
+		e.step()
+	}
+	if e.now < deadline && e.queue.Len() == 0 {
+		return e.now
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.t < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.t
+	e.nSteps++
+	ev.fn()
+}
+
+type event struct {
+	t   float64
+	seq uint64 // tiebreaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

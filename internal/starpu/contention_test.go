@@ -1,0 +1,166 @@
+package starpu
+
+import (
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+)
+
+// TestNICSerializesSameMachineTransfers: two blocks dispatched
+// simultaneously to one remote machine's CPU and GPU must move their data
+// sequentially over the shared NIC — the second transfer cannot overlap
+// the first.
+func TestNICSerializesSameMachineTransfers(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 8192})
+	sess := NewSimSession(clu, app, SimConfig{})
+	sched := &callbackScheduler{
+		start: func(ss *Session) {
+			// PUs 2 and 3 are machine B's CPU and GPU.
+			ss.Assign(ss.PUs()[2], 512)
+			ss.Assign(ss.PUs()[3], 512)
+		},
+		finished: func(ss *Session, r TaskRecord) {
+			for ss.Remaining() > 0 {
+				ss.Assign(ss.PUs()[3], float64(ss.Remaining()))
+			}
+		},
+	}
+	rep, err := sess.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the first two records on machine B (submitted simultaneously).
+	var first, second *TaskRecord
+	for i := range rep.Records {
+		r := &rep.Records[i]
+		if r.SubmitTime == 0 && r.PU == 2 {
+			first = r
+		}
+		if r.SubmitTime == 0 && r.PU == 3 {
+			second = r
+		}
+	}
+	if first == nil || second == nil {
+		t.Fatal("missing simultaneous records")
+	}
+	// One of them must have waited for the other's NIC occupancy: with a
+	// shared link the two transfers finish at least one NIC hold apart,
+	// whereas independent links would complete them (nearly) together.
+	nicHold := clu.Machines[1].NIC.TransferSeconds(512 * app.Profile().TransferBytesPerUnit)
+	gap := first.TransferEnd - second.TransferEnd
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap < 0.9*nicHold {
+		t.Errorf("transfer ends %g apart, want ≥ %g (NIC serialization)", gap, 0.9*nicHold)
+	}
+}
+
+// TestMasterLocalCPUSkipsNetwork: the master machine's CPU receives data
+// with no NIC or PCIe delay at all.
+func TestMasterLocalCPUSkipsNetwork(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 4096})
+	sess := NewSimSession(clu, app, SimConfig{})
+	sched := &callbackScheduler{
+		start: func(ss *Session) { ss.Assign(ss.PUs()[0], float64(ss.Remaining())) },
+	}
+	rep, err := sess.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Records[0]
+	if r.TransferSeconds() != 0 {
+		t.Errorf("master CPU transfer took %g, want 0", r.TransferSeconds())
+	}
+}
+
+// TestRemoteGPUPaysNICAndPCIe: a remote GPU's transfer takes at least the
+// nominal NIC + PCIe time for its bytes.
+func TestRemoteGPUPaysNICAndPCIe(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 4096})
+	sess := NewSimSession(clu, app, SimConfig{})
+	sched := &callbackScheduler{
+		start: func(ss *Session) { ss.Assign(ss.PUs()[3], float64(ss.Remaining())) },
+	}
+	rep, err := sess.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Records[0]
+	bytes := float64(r.Units) * app.Profile().TransferBytesPerUnit
+	want := clu.PUs()[3].NominalTransferSeconds(bytes)
+	if r.TransferSeconds() < want*0.99 {
+		t.Errorf("transfer %g shorter than nominal %g", r.TransferSeconds(), want)
+	}
+}
+
+func TestLinkBusyReported(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 2048})
+	rep, err := NewSimSession(clu, app, SimConfig{}).Run(&fixedScheduler{block: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LinkBusy == nil {
+		t.Fatal("LinkBusy missing on simulation engine")
+	}
+	if rep.LinkBusy["B/nic"] <= 0 {
+		t.Errorf("remote machine NIC unused: %v", rep.LinkBusy)
+	}
+	if rep.LinkBusy["A/nic"] != 0 {
+		t.Errorf("master NIC should be unused (local transfers): %v", rep.LinkBusy)
+	}
+	if rep.LinkBusy["A/pcie"] <= 0 || rep.LinkBusy["B/pcie"] <= 0 {
+		t.Errorf("GPU PCIe buses should be used: %v", rep.LinkBusy)
+	}
+}
+
+func TestDualGPUSharesPCIe(t *testing.T) {
+	// With both GTX 295 processors enabled, machine B's two GPUs share one
+	// PCIe bus: simultaneous transfers serialize.
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1, DualGPU: true})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 4096})
+	sess := NewSimSession(clu, app, SimConfig{})
+	// PUs on machine B: index 2 = CPU, 3 and 4 = the two GPUs.
+	sched := &callbackScheduler{
+		start: func(ss *Session) {
+			ss.Assign(ss.PUs()[3], 1024)
+			ss.Assign(ss.PUs()[4], 1024)
+		},
+		finished: func(ss *Session, r TaskRecord) {
+			for ss.Remaining() > 0 {
+				ss.Assign(ss.PUs()[1], float64(ss.Remaining()))
+			}
+		},
+	}
+	rep, err := sess.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g1, g2 *TaskRecord
+	for i := range rep.Records {
+		r := &rep.Records[i]
+		if r.SubmitTime == 0 && r.PU == 3 {
+			g1 = r
+		}
+		if r.SubmitTime == 0 && r.PU == 4 {
+			g2 = r
+		}
+	}
+	if g1 == nil || g2 == nil {
+		t.Fatal("missing dual-GPU records")
+	}
+	// Serialized transfers: end times differ by at least a PCIe hold.
+	pcie := clu.Machines[1].PCIe.TransferSeconds(1024 * app.Profile().TransferBytesPerUnit)
+	gap := g1.TransferEnd - g2.TransferEnd
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap < 0.9*pcie {
+		t.Errorf("dual-GPU transfers not serialized on shared PCIe: gap %g, hold %g", gap, pcie)
+	}
+}

@@ -1,0 +1,146 @@
+package starpu
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// countingKernel records which units were executed, concurrently safe for
+// disjoint ranges.
+type countingKernel struct {
+	hits  []int32
+	calls int64
+}
+
+func (k *countingKernel) Execute(lo, hi int64) {
+	atomic.AddInt64(&k.calls, 1)
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&k.hits[i], 1)
+	}
+}
+
+func TestLiveSessionExecutesEveryUnitOnce(t *testing.T) {
+	const units = 500
+	k := &countingKernel{hits: make([]int32, units)}
+	sess := NewLiveSession(k, LiveConfig{
+		Workers: []LiveWorkerSpec{
+			{Name: "w0"}, {Name: "w1"}, {Name: "w2", Slowdown: 3},
+		},
+		TotalUnits: units,
+		AppName:    "counting",
+	})
+	rep, err := sess.Run(&fixedScheduler{block: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range k.hits {
+		if h != 1 {
+			t.Fatalf("unit %d executed %d times", i, h)
+		}
+	}
+	if rep.Makespan <= 0 {
+		t.Error("live makespan should be positive")
+	}
+	var total int64
+	for _, r := range rep.Records {
+		total += r.Units
+	}
+	if total != units {
+		t.Errorf("records cover %d units, want %d", total, units)
+	}
+}
+
+func TestLiveSessionThrottledWorkerIsSlower(t *testing.T) {
+	const units = 400
+	work := func(lo, hi int64) {
+		// Busy-ish kernel so throttling has something to scale.
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			for j := 0; j < 2000; j++ {
+				s += float64(j ^ int(i))
+			}
+		}
+		_ = s
+	}
+	k := kernelFunc(work)
+	sess := NewLiveSession(k, LiveConfig{
+		Workers: []LiveWorkerSpec{
+			{Name: "fast"}, {Name: "slow", Slowdown: 6},
+		},
+		TotalUnits: units,
+	})
+	rep, err := sess.Run(&fixedScheduler{block: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastUnits, slowUnits int64
+	for _, r := range rep.Records {
+		if r.PU == 0 {
+			fastUnits += r.Units
+		} else {
+			slowUnits += r.Units
+		}
+	}
+	// Self-scheduling on a 6x-slower worker should skew the unit split.
+	if fastUnits <= slowUnits {
+		t.Errorf("throttled worker processed %d units vs fast %d", slowUnits, fastUnits)
+	}
+}
+
+// kernelFunc adapts a func to LiveKernel.
+type kernelFunc func(lo, hi int64)
+
+func (f kernelFunc) Execute(lo, hi int64) { f(lo, hi) }
+
+func TestLiveScheduleAtUnsupported(t *testing.T) {
+	k := kernelFunc(func(lo, hi int64) {})
+	sess := NewLiveSession(k, LiveConfig{
+		Workers:    []LiveWorkerSpec{{Name: "w"}},
+		TotalUnits: 1,
+	})
+	if err := sess.ScheduleAt(1, func() {}); err == nil {
+		t.Error("live engine should reject ScheduleAt")
+	}
+	if _, err := sess.Run(&fixedScheduler{block: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveParallelWorkerCoversAllUnits(t *testing.T) {
+	const units = 700
+	k := &countingKernel{hits: make([]int32, units)}
+	sess := NewLiveSession(k, LiveConfig{
+		Workers: []LiveWorkerSpec{
+			{Name: "multi", Parallelism: 4},
+			{Name: "single"},
+		},
+		TotalUnits: units,
+	})
+	if _, err := sess.Run(&fixedScheduler{block: 33}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range k.hits {
+		if h != 1 {
+			t.Fatalf("unit %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestLiveParallelSmallBlocksFallBackToSerial(t *testing.T) {
+	// Blocks smaller than the parallelism degree run serially (no empty
+	// stripes, no lost units).
+	const units = 10
+	k := &countingKernel{hits: make([]int32, units)}
+	sess := NewLiveSession(k, LiveConfig{
+		Workers:    []LiveWorkerSpec{{Name: "w", Parallelism: 8}},
+		TotalUnits: units,
+	})
+	if _, err := sess.Run(&fixedScheduler{block: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range k.hits {
+		if h != 1 {
+			t.Fatalf("unit %d executed %d times", i, h)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package starpu
+
+import (
+	"sync"
+	"time"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/device"
+)
+
+// LiveKernel is a real computation decomposed into work units; Execute must
+// be safe to call concurrently on disjoint ranges (all kernels in
+// internal/apps are).
+type LiveKernel interface {
+	Execute(lo, hi int64)
+}
+
+// LiveWorkerSpec describes one worker of a live session.
+type LiveWorkerSpec struct {
+	Name string
+	// Slowdown throttles the worker: after executing a block in t seconds
+	// it sleeps (Slowdown-1)·t, emulating a device 1/Slowdown as fast.
+	// Values < 1 are treated as 1 (no throttling).
+	Slowdown float64
+	// Parallelism splits each block across this many goroutines — a
+	// multicore worker, the live analogue of a multi-core CPU processing
+	// one codelet with several threads. Values < 1 are treated as 1.
+	Parallelism int
+}
+
+// liveEngine executes real kernels on goroutine workers under wall-clock
+// time. Completions funnel through one channel and are processed serially
+// on the driving goroutine, so scheduler callbacks stay single-threaded
+// exactly as on the simulation engine.
+type liveEngine struct {
+	session  *Session
+	kernel   LiveKernel
+	start    time.Time
+	workers  []chan liveAssign
+	complete chan liveDone
+	specs    []LiveWorkerSpec
+}
+
+type liveAssign struct {
+	seq      int
+	lo, hi   int64
+	submit   float64
+	callback func(TaskRecord)
+}
+
+type liveDone struct {
+	rec      TaskRecord
+	callback func(TaskRecord)
+}
+
+// LiveConfig configures a live session.
+type LiveConfig struct {
+	Workers []LiveWorkerSpec
+	// TotalUnits is the number of work units in the kernel.
+	TotalUnits int64
+	// Profile describes the kernel for schedulers that inspect it; only
+	// the Name is required in live mode.
+	Profile device.KernelProfile
+	AppName string
+}
+
+// NewLiveSession builds a session that runs kernel on real goroutine
+// workers. Each worker appears to schedulers as one processing unit of a
+// synthetic single-CPU machine (worker 0's machine is the master).
+func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
+	if len(cfg.Workers) == 0 {
+		panic("starpu: live session needs at least one worker")
+	}
+	var machines []*cluster.Machine
+	for i, w := range cfg.Workers {
+		spec := device.Spec{
+			Name: "worker", Kind: device.CPU,
+			Cores: 1, ClockGHz: 1, FlopsPerCycle: 1,
+		}
+		machines = append(machines, &cluster.Machine{
+			Name: w.Name,
+			CPU:  device.New(spec, int64(i), 0),
+		})
+	}
+	clu := cluster.New(machines...)
+	s := &Session{
+		clu:     clu,
+		pus:     clu.PUs(),
+		profile: cfg.Profile,
+		appName: cfg.AppName,
+	}
+	s.initCommon(cfg.TotalUnits)
+	le := &liveEngine{
+		session:  s,
+		kernel:   kernel,
+		start:    time.Now(),
+		complete: make(chan liveDone, 4*len(cfg.Workers)),
+		specs:    cfg.Workers,
+	}
+	for i := range cfg.Workers {
+		ch := make(chan liveAssign, 16)
+		le.workers = append(le.workers, ch)
+		go le.workerLoop(i, ch)
+	}
+	s.eng = le
+	return s
+}
+
+func (e *liveEngine) now() float64 { return time.Since(e.start).Seconds() }
+
+// at is unsupported on the live engine: callbacks could not be serialized
+// with worker completions without a scheduler-visible clock.
+func (e *liveEngine) at(t float64, fn func()) bool { return false }
+
+// linkBusy is untracked on the live engine (no modeled links).
+func (e *liveEngine) linkBusy() map[string]float64 { return nil }
+
+// executeParallel splits [lo,hi) into par contiguous stripes executed
+// concurrently. Kernels in internal/apps are safe on disjoint ranges.
+func (e *liveEngine) executeParallel(lo, hi int64, par int) {
+	n := hi - lo
+	if par <= 1 || n < int64(par) {
+		e.kernel.Execute(lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	stripe := n / int64(par)
+	for g := 0; g < par; g++ {
+		a := lo + int64(g)*stripe
+		b := a + stripe
+		if g == par-1 {
+			b = hi
+		}
+		wg.Add(1)
+		go func(a, b int64) {
+			defer wg.Done()
+			e.kernel.Execute(a, b)
+		}(a, b)
+	}
+	wg.Wait()
+}
+
+func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, complete func(TaskRecord)) {
+	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), callback: complete}
+}
+
+func (e *liveEngine) drive() error {
+	for e.session.inflight > 0 {
+		done := <-e.complete
+		done.callback(done.rec)
+	}
+	for _, ch := range e.workers {
+		close(ch)
+	}
+	return nil
+}
+
+func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
+	slow := e.specs[id].Slowdown
+	par := e.specs[id].Parallelism
+	if par < 1 {
+		par = 1
+	}
+	for a := range ch {
+		t0 := e.now()
+		e.executeParallel(a.lo, a.hi, par)
+		t1 := e.now()
+		if slow > 1 {
+			time.Sleep(time.Duration(float64(time.Second) * (slow - 1) * (t1 - t0)))
+		}
+		t2 := e.now()
+		rec := TaskRecord{
+			Seq: a.seq, PU: id, Lo: a.lo, Hi: a.hi, Units: a.hi - a.lo,
+			SubmitTime: a.submit, TransferStart: a.submit, TransferEnd: t0,
+			ExecStart: t0, ExecEnd: t2,
+		}
+		e.complete <- liveDone{rec: rec, callback: a.callback}
+	}
+}

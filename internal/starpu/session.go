@@ -1,0 +1,203 @@
+package starpu
+
+import (
+	"math"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/device"
+)
+
+// Session is one execution of an application on a cluster under one
+// scheduler. It is the handle schedulers use to inspect state and submit
+// work — the equivalent of the paper's master-node scheduler context.
+type Session struct {
+	eng       engine
+	clu       *cluster.Cluster
+	pus       []*cluster.PU
+	profile   device.KernelProfile
+	appName   string
+	total     int64
+	remaining int64
+	cursor    int64
+	inflight  int
+	seq       int
+	overheads OverheadModel
+	// masterFree is when the master's scheduling computations allow the
+	// next data transfer to begin; the simulation engine moves it forward
+	// when fit/solve overheads are charged. Always 0 on the live engine,
+	// where real computation already takes real time.
+	masterFree float64
+	chargeOn   bool // whether ChargeFit/ChargeSolve affect the clock
+
+	records       []TaskRecord
+	distributions []Distribution
+	sched         Scheduler
+	violation     error
+}
+
+// PUs returns the cluster's processing units in stable order.
+func (s *Session) PUs() []*cluster.PU { return s.pus }
+
+// Profile returns the application's kernel cost profile.
+func (s *Session) Profile() device.KernelProfile { return s.profile }
+
+// Now returns the current engine time in seconds.
+func (s *Session) Now() float64 { return s.eng.now() }
+
+// TotalUnits returns the application's total work-unit count.
+func (s *Session) TotalUnits() int64 { return s.total }
+
+// Remaining returns the number of units not yet assigned.
+func (s *Session) Remaining() int64 { return s.remaining }
+
+// InFlight returns the number of blocks currently assigned but unfinished.
+func (s *Session) InFlight() int { return s.inflight }
+
+// Records returns all completed task records so far.
+func (s *Session) Records() []TaskRecord { return s.records }
+
+// NextSeq returns the sequence number the next assigned block will carry.
+// Schedulers use it to partition in-flight tasks into "before" and "after"
+// a synchronization point.
+func (s *Session) NextSeq() int { return s.seq }
+
+// Assign submits a block of the given size (in work units, may be
+// fractional — it is rounded to the closest valid block size per §III.D) to
+// pu. The size is clamped to the remaining work; at least one unit is sent
+// while work remains. It returns the number of units actually assigned
+// (0 when no work remains).
+func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
+	if s.remaining <= 0 {
+		return 0
+	}
+	n := int64(math.Round(units))
+	if n < 1 {
+		n = 1
+	}
+	if n > s.remaining {
+		n = s.remaining
+	}
+	lo := s.cursor
+	hi := lo + n
+	s.cursor = hi
+	s.remaining -= n
+	s.inflight++
+	seq := s.seq
+	s.seq++
+	s.eng.launch(pu, seq, lo, hi, s.masterFree, s.onComplete)
+	return n
+}
+
+// ChargeFit charges one curve-fitting pass to the clock (simulation only).
+func (s *Session) ChargeFit() { s.charge(s.overheads.FitSeconds) }
+
+// ChargeSolve charges one equation-system solve to the clock (simulation
+// only).
+func (s *Session) ChargeSolve() { s.charge(s.overheads.SolveSeconds) }
+
+func (s *Session) charge(sec float64) {
+	if !s.chargeOn || sec <= 0 {
+		return
+	}
+	if now := s.eng.now(); now > s.masterFree {
+		s.masterFree = now
+	}
+	s.masterFree += sec
+}
+
+// ScheduleAt arranges for fn to run at absolute engine time t, serialized
+// with scheduler callbacks. Experiments use it to perturb the environment
+// mid-run (degrade a device's QoS, fail a machine). It returns an error on
+// engines without a controllable clock (the live engine).
+func (s *Session) ScheduleAt(t float64, fn func()) error {
+	if !s.eng.at(t, fn) {
+		return runtimeError("this engine does not support scheduled callbacks")
+	}
+	return nil
+}
+
+// RecordDistribution stores a block-size split for later reporting
+// (Fig. 6). xs is copied and normalized to sum 1.
+func (s *Session) RecordDistribution(label string, xs []float64) {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	norm := make([]float64, len(xs))
+	if sum > 0 {
+		for i, x := range xs {
+			norm[i] = x / sum
+		}
+	}
+	s.distributions = append(s.distributions, Distribution{
+		Label: label, Time: s.Now(), X: norm,
+	})
+}
+
+// fail aborts the run with a protocol-violation error.
+func (s *Session) fail(err error) {
+	if s.violation == nil {
+		s.violation = err
+	}
+}
+
+// onComplete is invoked by the engine, serialized, for every finished block.
+func (s *Session) onComplete(rec TaskRecord) {
+	s.inflight--
+	s.records = append(s.records, rec)
+	if s.violation != nil {
+		return
+	}
+	s.sched.TaskFinished(s, rec)
+	if s.remaining > 0 && s.inflight == 0 {
+		s.fail(runtimeError("scheduler %q stalled: %d units remain but nothing in flight",
+			s.sched.Name(), s.remaining))
+	}
+}
+
+// Run executes the application to completion under sched and returns the
+// report.
+func (s *Session) Run(sched Scheduler) (*Report, error) {
+	if s.sched != nil {
+		return nil, runtimeError("session already used; create a new one per run")
+	}
+	s.sched = sched
+	sched.Start(s)
+	if s.remaining > 0 && s.inflight == 0 {
+		return nil, runtimeError("scheduler %q submitted no initial work", sched.Name())
+	}
+	if err := s.eng.drive(); err != nil {
+		return nil, err
+	}
+	if s.violation != nil {
+		return nil, s.violation
+	}
+	if s.remaining != 0 {
+		return nil, runtimeError("run ended with %d units unprocessed", s.remaining)
+	}
+	rep := &Report{
+		SchedulerName: sched.Name(),
+		AppName:       s.appName,
+		Records:       s.records,
+		Distributions: s.distributions,
+		TotalUnits:    s.total,
+	}
+	for _, rec := range s.records {
+		if rec.ExecEnd > rep.Makespan {
+			rep.Makespan = rec.ExecEnd
+		}
+	}
+	for _, pu := range s.pus {
+		rep.PUNames = append(rep.PUNames, pu.Name())
+	}
+	if sr, ok := sched.(StatsReporter); ok {
+		rep.SchedStats = sr.Stats()
+	}
+	rep.LinkBusy = s.eng.linkBusy()
+	return rep, nil
+}
+
+func (s *Session) initCommon(total int64) {
+	s.total = total
+	s.remaining = total
+}

@@ -1,0 +1,126 @@
+package starpu
+
+import (
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/sim"
+)
+
+// simEngine executes blocks on the discrete-event simulator against the
+// cluster's device models. Each processing unit is a FIFO resource (one
+// kernel at a time); each machine's NIC and PCIe bus are FIFO resources
+// shared by that machine's units, so concurrent transfers to one node
+// serialize as they would on real links.
+type simEngine struct {
+	eng     *sim.Engine
+	session *Session
+	puRes   []*sim.Resource
+	nicRes  map[*cluster.Machine]*sim.Resource
+	pcieRes map[*cluster.Machine]*sim.Resource
+}
+
+// SimConfig configures a simulated session.
+type SimConfig struct {
+	// Overheads charges scheduler computations to virtual time. The zero
+	// value means DefaultOverheads; use NoOverheads to disable.
+	Overheads *OverheadModel
+}
+
+// NoOverheads disables scheduler-overhead charging (for ablations).
+func NoOverheads() *OverheadModel { return &OverheadModel{} }
+
+// NewSimSession builds a simulated session of app on clu.
+func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session {
+	ov := DefaultOverheads()
+	if cfg.Overheads != nil {
+		ov = *cfg.Overheads
+	}
+	s := &Session{
+		clu:       clu,
+		pus:       clu.PUs(),
+		profile:   app.Profile(),
+		appName:   app.Name(),
+		overheads: ov,
+		chargeOn:  true,
+	}
+	s.initCommon(app.TotalUnits())
+	se := &simEngine{
+		eng:     sim.New(),
+		session: s,
+		nicRes:  make(map[*cluster.Machine]*sim.Resource),
+		pcieRes: make(map[*cluster.Machine]*sim.Resource),
+	}
+	for _, pu := range s.pus {
+		se.puRes = append(se.puRes, sim.NewResource(se.eng, pu.Name()))
+		if _, ok := se.nicRes[pu.Machine]; !ok {
+			se.nicRes[pu.Machine] = sim.NewResource(se.eng, pu.Machine.Name+"/nic")
+			se.pcieRes[pu.Machine] = sim.NewResource(se.eng, pu.Machine.Name+"/pcie")
+		}
+	}
+	s.eng = se
+	return s
+}
+
+func (e *simEngine) now() float64 { return e.eng.Now() }
+
+func (e *simEngine) at(t float64, fn func()) bool {
+	if t < e.eng.Now() {
+		t = e.eng.Now()
+	}
+	e.eng.At(t, fn)
+	return true
+}
+
+func (e *simEngine) drive() error {
+	e.eng.Run()
+	return nil
+}
+
+// linkBusy reports NIC and PCIe occupancy for every machine.
+func (e *simEngine) linkBusy() map[string]float64 {
+	out := make(map[string]float64, 2*len(e.nicRes))
+	for m, r := range e.nicRes {
+		out[m.Name+"/nic"] = r.BusySeconds()
+	}
+	for m, r := range e.pcieRes {
+		out[m.Name+"/pcie"] = r.BusySeconds()
+	}
+	return out
+}
+
+// launch chains the block through the communication links and the device,
+// reserving each resource in order: NIC (remote machines) → PCIe (GPUs) →
+// the processing unit itself. All reservations are computed analytically at
+// submission; a single event fires at kernel completion.
+func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, complete func(TaskRecord)) {
+	units := hi - lo
+	rec := TaskRecord{Seq: seq, PU: pu.ID, Lo: lo, Hi: hi, Units: units, SubmitTime: e.eng.Now()}
+
+	t := e.eng.Now()
+	if earliest > t {
+		t = earliest // master still busy computing the schedule
+	}
+	prof := e.session.profile
+	bytes := float64(units) * prof.TransferBytesPerUnit
+
+	rec.TransferStart = t
+	if !pu.Machine.IsMaster && bytes > 0 {
+		hold := pu.Machine.NIC.TransferSeconds(bytes)
+		_, t = e.nicRes[pu.Machine].AcquireAfter(t, hold, nil)
+	}
+	if pu.IsGPU() && bytes > 0 {
+		hold := pu.Machine.PCIe.TransferSeconds(bytes)
+		_, t = e.pcieRes[pu.Machine].AcquireAfter(t, hold, nil)
+	}
+	rec.TransferEnd = t
+
+	exec := pu.Dev.ExecSeconds(prof, float64(units))
+	if exec != exec || exec < 0 || exec > 1e18 {
+		// A failed (speed factor 0) device would never complete; schedulers
+		// must stop assigning to failed devices rather than hang the run.
+		panic("starpu: block launched on failed or broken device " + pu.Name())
+	}
+	start, end := e.puRes[pu.ID].AcquireAfter(t, exec, nil)
+	rec.ExecStart, rec.ExecEnd = start, end
+	e.eng.At(end, func() { complete(rec) })
+}

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/sched"
+	"plbhec/internal/starpu"
+)
+
+// realRun produces a report from an actual simulated PLB-HeC run.
+func realRun(t *testing.T) *starpu.Report {
+	t.Helper()
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1, NoiseSigma: cluster.DefaultNoiseSigma})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 4096})
+	rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(
+		sched.NewPLBHeC(sched.Config{InitialBlockSize: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
