@@ -104,7 +104,7 @@ func BenchmarkFig3Rebalance(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rebalances = rep.SchedStats["rebalances"]
+		rebalances = rep.SchedulerStats["rebalances"]
 	}
 	b.ReportMetric(rebalances, "rebalances/op")
 }

@@ -8,17 +8,23 @@
 //	plbsim -app bs -size 500000 -machines 4 -sched hdss -gantt
 //	plbsim -app grn -size 100000 -sched greedy -seed 3
 //	plbsim -app mm -size 65536 -sched all          # compare every policy
+//	plbsim -app mm -sched plb-hec -perfetto out.json   # ui.perfetto.dev trace
+//	plbsim -app mm -sched plb-hec -listen :9090        # live /metrics endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/expt"
 	"plbhec/internal/metrics"
 	"plbhec/internal/starpu"
+	"plbhec/internal/telemetry"
 	"plbhec/internal/trace"
 )
 
@@ -33,6 +39,8 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart")
 		dual     = flag.Bool("dualgpu", false, "enable the second GPU on dual boards")
 		traceOut = flag.String("trace", "", "write a JSONL event trace to this file")
+		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace_event JSON trace to this file (open in ui.perfetto.dev)")
+		listen   = flag.String("listen", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090); keeps serving after the run until interrupted")
 		detail   = flag.Bool("breakdown", false, "print per-unit time breakdown (exec/transfer/queue/idle)")
 	)
 	flag.Parse()
@@ -58,6 +66,35 @@ func main() {
 		os.Exit(2)
 	}
 	sess := starpu.NewSimSession(clu, a, starpu.SimConfig{})
+
+	var (
+		tel  *telemetry.Telemetry
+		perf *telemetry.PerfettoSink
+	)
+	if *perfetto != "" || *listen != "" {
+		var names []string
+		for _, pu := range clu.PUs() {
+			names = append(names, pu.Name())
+		}
+		tel = telemetry.New()
+		tel.Attach(telemetry.NewRunMetrics(tel.Registry(), names))
+		if *perfetto != "" {
+			perf = telemetry.NewPerfettoSink(names)
+			tel.Attach(perf)
+		}
+		sess.AttachTelemetry(tel)
+	}
+	var srvAddr net.Addr
+	if *listen != "" {
+		var err error
+		_, srvAddr, err = telemetry.ListenAndServe(*listen, tel.Registry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics and /healthz on http://%s\n", srvAddr)
+	}
+
 	rep, err := sess.Run(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
@@ -79,8 +116,8 @@ func main() {
 			fmt.Printf("  %-20s %6.2f%%\n", rep.PUNames[i], 100*x)
 		}
 	}
-	if len(rep.SchedStats) > 0 {
-		fmt.Printf("\nscheduler stats: %v\n", rep.SchedStats)
+	if len(rep.SchedulerStats) > 0 {
+		fmt.Printf("\nscheduler stats: %v\n", rep.SchedulerStats)
 	}
 	if *detail {
 		makespan, rows := trace.Analyze(rep)
@@ -108,9 +145,31 @@ func main() {
 		}
 		fmt.Printf("\ntrace written to %s (%d records)\n", *traceOut, len(rep.Records))
 	}
+	if perf != nil {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+			os.Exit(1)
+		}
+		werr := perf.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\nperfetto trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
 	if *gantt {
 		fmt.Println()
 		fmt.Print(metrics.RenderGantt(rep, 100))
+	}
+	if *listen != "" {
+		fmt.Printf("\nrun finished; metrics still serving on http://%s — interrupt (ctrl-C) to exit\n", srvAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }
 

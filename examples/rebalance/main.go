@@ -45,7 +45,7 @@ func main() {
 		}
 		fmt.Printf("== %s ==\n", sc.name)
 		fmt.Printf("makespan %.3fs, rebalances %.0f, distributions computed %d\n",
-			rep.Makespan, rep.SchedStats["rebalances"], len(rep.Distributions))
+			rep.Makespan, rep.SchedulerStats["rebalances"], len(rep.Distributions))
 		for _, d := range rep.Distributions {
 			fmt.Printf("  %-16s at %7.3fs:", d.Label, d.Time)
 			for i, x := range d.X {

@@ -62,7 +62,7 @@ func runFig2(o Options) error {
 		}
 	}
 	fmt.Fprintf(o.Out, "total makespan: %.3fs, tasks: %d, scheduler stats: %v\n",
-		rep.Makespan, len(rep.Records), rep.SchedStats)
+		rep.Makespan, len(rep.Records), rep.SchedulerStats)
 	return nil
 }
 
@@ -94,8 +94,8 @@ func runFig3(o Options) error {
 	fmt.Fprintf(o.Out, "(█ kernel execution, ▒ data transfer, · idle)\n")
 	fmt.Fprint(o.Out, metrics.RenderGantt(rep, 100))
 	fmt.Fprintf(o.Out, "rebalances triggered: %.0f, makespan %.3fs\n",
-		rep.SchedStats["rebalances"], rep.Makespan)
-	if rep.SchedStats["rebalances"] < 1 {
+		rep.SchedulerStats["rebalances"], rep.Makespan)
+	if rep.SchedulerStats["rebalances"] < 1 {
 		fmt.Fprintf(o.Out, "WARNING: expected at least one rebalance after the slowdown\n")
 	}
 	return nil

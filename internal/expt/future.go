@@ -75,7 +75,7 @@ func runCloud(o Options) error {
 					return fmt.Errorf("%s under %q: %w", name, pertName, err)
 				}
 				times = append(times, rep.Makespan)
-				rebal += rep.SchedStats["rebalances"] / float64(seeds)
+				rebal += rep.SchedulerStats["rebalances"] / float64(seeds)
 			}
 			sum := stats.Summarize(times)
 			t.AddRow(pertName, string(name),

@@ -1,0 +1,76 @@
+package expt
+
+import (
+	"fmt"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/starpu"
+	"plbhec/internal/telemetry"
+)
+
+// MetricSample is one mid-run snapshot of the telemetry registry.
+type MetricSample struct {
+	Time float64 // engine time the snapshot was taken
+	Snap telemetry.Snapshot
+}
+
+// ObservedRun is the outcome of RunObserved: the usual report plus the
+// telemetry snapshots taken while the run was in flight.
+type ObservedRun struct {
+	Report  *starpu.Report
+	Samples []MetricSample     // one per requested sample time, in order
+	Final   telemetry.Snapshot // registry state at run end
+}
+
+// RunObserved executes one (scenario, scheduler) repetition with a
+// telemetry hub attached and snapshots the metric registry at the given
+// engine times (simulation only — snapshots ride the simulator's event
+// queue via ScheduleAt). Experiments use it to assert properties of a run
+// while it is still converging — e.g. that the modeling phase finished and
+// the distribution settled before a deadline — instead of only inspecting
+// the final report.
+func RunObserved(sc Scenario, name SchedName, seed int, sampleTimes []float64) (*ObservedRun, error) {
+	app := MakeApp(sc.Kind, sc.Size)
+	clu := sc.Cluster(seed)
+	cfg := starpu.SimConfig{}
+	if sc.NoOverheads {
+		cfg.Overheads = starpu.NoOverheads()
+	}
+	sess := starpu.NewSimSession(clu, app, cfg)
+	sched, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
+	if err != nil {
+		return nil, err
+	}
+
+	tel := telemetry.New()
+	tel.Attach(telemetry.NewRunMetrics(tel.Registry(), puNames(clu)))
+	sess.AttachTelemetry(tel)
+
+	run := &ObservedRun{}
+	for _, t := range sampleTimes {
+		t := t
+		if err := sess.ScheduleAt(t, func() {
+			run.Samples = append(run.Samples, MetricSample{Time: t, Snap: tel.Registry().Snapshot()})
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	rep, err := sess.Run(sched)
+	if err != nil {
+		return nil, fmt.Errorf("expt: observed %s/%s seed %d: %w", sc.Label(), name, seed, err)
+	}
+	run.Report = rep
+	run.Final = tel.Registry().Snapshot()
+	return run, nil
+}
+
+// puNames lists the cluster's processing units in stable order.
+func puNames(clu *cluster.Cluster) []string {
+	pus := clu.PUs()
+	names := make([]string, len(pus))
+	for i, pu := range pus {
+		names[i] = pu.Name()
+	}
+	return names
+}

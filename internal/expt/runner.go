@@ -82,7 +82,7 @@ func RunCell(sc Scenario, name SchedName) (*Result, error) {
 			pi[j] = u.IdleFraction
 		}
 		puIdles = append(puIdles, pi)
-		for k, v := range rep.SchedStats {
+		for k, v := range rep.SchedulerStats {
 			res.SchedStats[k] += v / float64(sc.Seeds)
 		}
 	}

@@ -59,7 +59,7 @@ func plbWith(kind AppKind, size int64, machines, seeds int, baseSeed int64,
 			return stats.Summary{}, 0, err
 		}
 		times = append(times, rep.Makespan)
-		rebal += rep.SchedStats["rebalances"] / float64(seeds)
+		rebal += rep.SchedulerStats["rebalances"] / float64(seeds)
 	}
 	return stats.Summarize(times), rebal, nil
 }

@@ -49,7 +49,7 @@ func runPLBVariant(sc Scenario, tweak func(*plbKnobs)) (*Result, error) {
 		}
 		makespans = append(makespans, rep.Makespan)
 		idles = append(idles, metrics.MeanIdle(rep))
-		for k, v := range rep.SchedStats {
+		for k, v := range rep.SchedulerStats {
 			res.SchedStats[k] += v / float64(sc.Seeds)
 		}
 	}

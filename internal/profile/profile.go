@@ -118,6 +118,10 @@ func (m Model) String() string {
 type Models struct {
 	PU    []Model
 	MinR2 float64 // worst F-fit R² across PUs
+	// RMSE is each unit's root-mean-square residual of the execution-time
+	// fit over its samples, in seconds — the absolute companion to R² that
+	// telemetry reports per unit (R² alone hides how large the errors are).
+	RMSE []float64
 }
 
 // Curves adapts the models to the interior-point solver's interface.
@@ -147,7 +151,7 @@ var ErrNeedSamples = errors.New("profile: not enough samples to fit")
 // under extrapolation are rejected.
 func (s *Sampler) FitAll(horizon float64) (Models, error) {
 	n := s.NumPU()
-	ms := Models{PU: make([]Model, n), MinR2: math.Inf(1)}
+	ms := Models{PU: make([]Model, n), MinR2: math.Inf(1), RMSE: make([]float64, n)}
 	for pu := 0; pu < n; pu++ {
 		if len(s.Exec[pu]) < 2 {
 			return Models{}, fmt.Errorf("%w: PU %d has %d samples", ErrNeedSamples, pu, len(s.Exec[pu]))
@@ -166,11 +170,26 @@ func (s *Sampler) FitAll(horizon float64) (Models, error) {
 		}
 		floor, cap, maxX := rateBounds(s.Exec[pu])
 		ms.PU[pu] = Model{F: f, G: g, FloorRate: floor, CapRate: cap, MaxSample: maxX}
+		ms.RMSE[pu] = rmse(f, xs, ys)
 		if f.R2 < ms.MinR2 {
 			ms.MinR2 = f.R2
 		}
 	}
 	return ms, nil
+}
+
+// rmse is the root-mean-square residual of the fitted curve over the
+// samples it was fitted to.
+func rmse(f fit.Model, xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for i := range xs {
+		d := f.Eval(xs[i]) - ys[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
 }
 
 // rateBounds derives physical sanity bounds from the samples: the floor is

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"plbhec/internal/starpu"
+	"plbhec/internal/telemetry"
 )
 
 // Acosta is the dynamic load balancer of Acosta et al. [18] as the paper
@@ -60,6 +61,7 @@ func (a *Acosta) Start(s *starpu.Session) {
 	for i := range a.weights {
 		a.weights[i] = 1 / float64(n)
 	}
+	emitPhase(s, "iterating")
 	a.launchIteration(s)
 }
 
@@ -110,9 +112,13 @@ func (a *Acosta) rebalance(s *starpu.Session) {
 	// Fig. 6 reports Acosta's distribution "at the end of the application
 	// execution"; recording every iteration keeps the latest one available.
 	s.RecordDistribution("iteration", a.weights)
+	s.Telemetry().Emit(telemetry.Event{
+		Kind: telemetry.EvRebalance, Time: s.Now(), PU: -1, Name: "iteration",
+	})
 	if hi > 0 && (hi-lo)/hi < a.StopThreshold {
 		a.frozen = true
 		a.stats["convergedAt"] = float64(a.iteration)
+		emitPhase(s, "frozen")
 	}
 }
 

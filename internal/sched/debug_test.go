@@ -22,7 +22,7 @@ func TestDebugPLBHeC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("makespan=%.3f stats=%v\n", rep.Makespan, rep.SchedStats)
+	t.Logf("makespan=%.3f stats=%v\n", rep.Makespan, rep.SchedulerStats)
 	for _, d := range rep.Distributions[:min(3, len(rep.Distributions))] {
 		t.Logf("dist %q at %.3f: %v\n", d.Label, d.Time, d.X)
 	}

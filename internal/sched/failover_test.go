@@ -46,8 +46,8 @@ func remoteCPU(clu *cluster.Cluster) interface{ SetSpeedFactor(float64) } {
 // remaining units.
 func TestFailoverPLBHeC(t *testing.T) {
 	rep := runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteGPU, 15)
-	if rep.SchedStats["failures"] != 1 {
-		t.Errorf("failures = %g, want 1", rep.SchedStats["failures"])
+	if rep.SchedulerStats["failures"] != 1 {
+		t.Errorf("failures = %g, want 1", rep.SchedulerStats["failures"])
 	}
 	// The dead GPU (PU 3 = B/GTX 295) must receive no tasks after death:
 	// every record on it must have been submitted before the failure.

@@ -86,6 +86,7 @@ func (h *HDSS) Start(s *starpu.Session) {
 	h.sizes = make([]float64, n)
 	h.weights = make([]float64, n)
 	h.stats = map[string]float64{}
+	emitPhase(s, "adaptive")
 	for i, pu := range s.PUs() {
 		h.sizes[i] = h.initialBlock()
 		if s.Remaining() == 0 {
@@ -174,6 +175,7 @@ func (h *HDSS) updateConvergence(s *starpu.Session, pu int) {
 func (h *HDSS) endAdaptivePhase(s *starpu.Session) {
 	h.adaptive = false
 	h.freezeWeights(s)
+	emitPhase(s, "completion")
 	s.RecordDistribution("phase-1", h.weights)
 	for i := range h.waiting {
 		if s.Remaining() == 0 {

@@ -6,7 +6,34 @@ import (
 	"plbhec/internal/ipm"
 	"plbhec/internal/profile"
 	"plbhec/internal/starpu"
+	"plbhec/internal/telemetry"
 )
+
+// emitPhase publishes a scheduler phase transition on the session's
+// telemetry bus (a no-op without an attached hub).
+func emitPhase(s *starpu.Session, name string) {
+	s.Telemetry().Emit(telemetry.Event{
+		Kind: telemetry.EvPhase, Time: s.Now(), PU: -1, Name: name,
+	})
+}
+
+// emitFit publishes one curve-fitting pass: a per-unit event carrying that
+// unit's RMSE (Value) and R² (Aux), then one pass-level event (PU = -1)
+// carrying the worst R² so sinks can count passes exactly once.
+func emitFit(s *starpu.Session, ms profile.Models) {
+	tel := s.Telemetry()
+	if !tel.Enabled() {
+		return
+	}
+	now := s.Now()
+	for i := range ms.PU {
+		tel.Emit(telemetry.Event{
+			Kind: telemetry.EvFit, Time: now, PU: i,
+			Value: ms.RMSE[i], Aux: ms.PU[i].R2(),
+		})
+	}
+	tel.Emit(telemetry.Event{Kind: telemetry.EvFit, Time: now, PU: -1, Value: ms.MinR2})
+}
 
 // PLBHeC is the paper's scheduler (Algorithm 2). It runs three phases:
 //
@@ -64,7 +91,8 @@ type PLBHeC struct {
 	lastDur    []float64 // per-PU most recent full-block duration
 	blockTime  float64   // EMA of execution-phase task durations
 	rebalance  bool
-	overCount  int // consecutive threshold detections (debounce)
+	rebalCause string // why the pending rebalance triggered (telemetry)
+	overCount  int    // consecutive threshold detections (debounce)
 	// drainSeq and drainOld implement the synchronization of Fig. 3: tasks
 	// submitted before the threshold detection (Seq < drainSeq) must
 	// complete before the refit/re-solve; units stay fed with same-size
@@ -159,6 +187,7 @@ func (p *PLBHeC) Start(s *starpu.Session) {
 	p.round = 1
 	p.mult = 1
 	p.thrScale = 1
+	emitPhase(s, "modeling")
 
 	for _, pu := range s.PUs() {
 		if s.Remaining() == 0 {
@@ -178,6 +207,7 @@ func (p *PLBHeC) TaskFinished(s *starpu.Session, rec starpu.TaskRecord) {
 	if p.scanFailures(s) && p.phase == phaseExecuting && s.Remaining() > 0 {
 		// A unit died: force a redistribution over the survivors.
 		p.rebalance = true
+		p.rebalCause = "failure"
 	}
 	switch p.phase {
 	case phaseModeling:
@@ -212,6 +242,7 @@ func (p *PLBHeC) modelingFinished(s *starpu.Session, rec starpu.TaskRecord) {
 		s.ChargeFit()
 		if err == nil {
 			p.models, p.modelsOK = ms, true
+			emitFit(s, ms)
 			capUnits := p.ModelDataCap * float64(s.TotalUnits())
 			if p.usedUnits >= capUnits || p.round >= p.MaxModelRounds {
 				p.beginExecution(s)
@@ -305,6 +336,13 @@ func (p *PLBHeC) coverageOK(s *starpu.Session) bool {
 // and submits the first execution-phase blocks.
 func (p *PLBHeC) beginExecution(s *starpu.Session) {
 	p.phase = phaseExecuting
+	if total := float64(s.TotalUnits()); total > 0 {
+		s.Telemetry().Emit(telemetry.Event{
+			Kind: telemetry.EvCoverage, Time: s.Now(), PU: -1,
+			Value: p.usedUnits / total,
+		})
+	}
+	emitPhase(s, "executing")
 	if s.Remaining() == 0 {
 		return
 	}
@@ -333,15 +371,24 @@ func (p *PLBHeC) solveDistribution(s *starpu.Session) {
 	p.stats.solves++
 	s.ChargeSolve()
 	if err != nil {
+		s.Telemetry().Emit(telemetry.Event{
+			Kind: telemetry.EvSolve, Time: s.Now(), PU: -1, Name: "failed",
+		})
 		// Unsolvable system: even split over survivors — still correct,
 		// just less optimal.
 		p.evenShareAlive()
 		return
 	}
 	p.stats.solverSeconds += res.WallTime.Seconds()
+	method := "ipm"
 	if res.UsedFallback {
 		p.stats.fallbacks++
+		method = "fallback"
 	}
+	s.Telemetry().Emit(telemetry.Event{
+		Kind: telemetry.EvSolve, Time: s.Now(), PU: -1, Name: method,
+		Value: float64(res.Iterations), Aux: res.KKTResidual,
+	})
 	for i, x := range res.X {
 		p.share[i] = x / remaining
 	}
@@ -427,6 +474,7 @@ func (p *PLBHeC) executingFinished(s *starpu.Session, rec starpu.TaskRecord) {
 		}
 		if p.overCount >= 2 {
 			p.rebalance = true
+			p.rebalCause = "threshold"
 			p.overCount = 0
 		}
 	}
@@ -438,6 +486,10 @@ func (p *PLBHeC) executingFinished(s *starpu.Session, rec starpu.TaskRecord) {
 		// it would remain idle").
 		p.phase = phaseDraining
 		p.stats.rebalances++
+		s.Telemetry().Emit(telemetry.Event{
+			Kind: telemetry.EvRebalance, Time: s.Now(), PU: -1, Name: p.rebalCause,
+		})
+		emitPhase(s, "draining")
 		p.drainSeq = s.NextSeq()
 		p.drainOld = s.InFlight()
 		p.drainingFinished(s, rec)
@@ -476,12 +528,15 @@ func (p *PLBHeC) drainingFinished(s *starpu.Session, rec starpu.TaskRecord) {
 		}
 		if ms, err := p.sampler.FitAll(float64(s.Remaining())); err == nil {
 			p.models, p.modelsOK = ms, true
+			emitFit(s, ms)
 		}
 		p.stats.fits++
 		s.ChargeFit()
 		p.rebalance = false
+		p.rebalCause = ""
 		p.blockTime = 0
 		p.phase = phaseExecuting
+		emitPhase(s, "executing")
 		if s.Remaining() > 0 {
 			p.prevShare = append(p.prevShare[:0], p.share...)
 			p.solveDistribution(s)
@@ -555,6 +610,9 @@ func (p *PLBHeC) scanFailures(s *starpu.Session) bool {
 			p.share[i] = 0
 			p.blockUnits[i] = 0
 			p.stats.failures++
+			s.Telemetry().Emit(telemetry.Event{
+				Kind: telemetry.EvFailover, Time: s.Now(), PU: i, Name: pu.Name(),
+			})
 			changed = true
 		}
 	}
@@ -593,6 +651,9 @@ func (p *PLBHeC) keepAlive(s *starpu.Session) {
 		}
 	}
 	if best >= 0 {
+		s.Telemetry().Emit(telemetry.Event{
+			Kind: telemetry.EvKeepAlive, Time: s.Now(), PU: best,
+		})
 		s.Assign(s.PUs()[best], float64(s.Remaining()))
 	}
 }

@@ -44,6 +44,14 @@ type Greedy struct {
 	// prefetching: the next block's transfer overlaps the current block's
 	// kernel). 0 or 1 means no prefetching.
 	Prefetch int
+
+	blocks   float64 // blocks dispatched
+	reroutes float64 // blocks redirected away from a failed unit
+}
+
+// Stats implements starpu.StatsReporter.
+func (g *Greedy) Stats() map[string]float64 {
+	return map[string]float64{"blocks": g.blocks, "reroutes": g.reroutes}
 }
 
 // NewGreedy returns a greedy scheduler with the given block size.
@@ -64,7 +72,9 @@ func (g *Greedy) Start(s *starpu.Session) {
 				return
 			}
 			if !pu.Dev.Failed() {
-				s.Assign(pu, g.initialBlock())
+				if s.Assign(pu, g.initialBlock()) > 0 {
+					g.blocks++
+				}
 			}
 		}
 	}
@@ -87,6 +97,9 @@ func (g *Greedy) TaskFinished(s *starpu.Session, rec starpu.TaskRecord) {
 		if pu.Dev.Failed() {
 			return // every unit failed; the runtime will report the stall
 		}
+		g.reroutes++
 	}
-	s.Assign(pu, g.initialBlock())
+	if s.Assign(pu, g.initialBlock()) > 0 {
+		g.blocks++
+	}
 }

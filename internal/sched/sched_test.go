@@ -79,7 +79,7 @@ func TestPLBHeCCompletesAllApps(t *testing.T) {
 func TestPLBHeCModelingPhaseStructure(t *testing.T) {
 	p := NewPLBHeC(Config{InitialBlockSize: 8})
 	rep := simRun(t, 4, 16384, p, 3)
-	stats := rep.SchedStats
+	stats := rep.SchedulerStats
 	if stats["modelRounds"] < 4 {
 		t.Errorf("modeling rounds = %g, want ≥ 4 (the paper's four probing rounds)", stats["modelRounds"])
 	}
@@ -165,7 +165,7 @@ func TestPLBHeCRebalanceOnSlowdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchedStats["rebalances"] < 1 {
+	if rep.SchedulerStats["rebalances"] < 1 {
 		t.Error("expected the threshold to trigger a rebalance after the slowdown")
 	}
 	if unitsProcessed(rep) != 32768 {
@@ -177,8 +177,8 @@ func TestPLBHeCNoThresholdNoRebalance(t *testing.T) {
 	p := NewPLBHeC(Config{InitialBlockSize: 8})
 	p.Threshold = 0
 	rep := simRun(t, 4, 16384, p, 1)
-	if rep.SchedStats["rebalances"] != 0 {
-		t.Errorf("rebalances = %g with threshold disabled", rep.SchedStats["rebalances"])
+	if rep.SchedulerStats["rebalances"] != 0 {
+		t.Errorf("rebalances = %g with threshold disabled", rep.SchedulerStats["rebalances"])
 	}
 }
 
@@ -232,8 +232,8 @@ func TestAcostaIterationBarriers(t *testing.T) {
 	if unitsProcessed(rep) != 16384 {
 		t.Fatalf("processed %d units", unitsProcessed(rep))
 	}
-	if rep.SchedStats["iterations"] < 3 {
-		t.Errorf("iterations = %g, want several", rep.SchedStats["iterations"])
+	if rep.SchedulerStats["iterations"] < 3 {
+		t.Errorf("iterations = %g, want several", rep.SchedulerStats["iterations"])
 	}
 }
 

@@ -39,6 +39,10 @@ type liveEngine struct {
 	workers  []chan liveAssign
 	complete chan liveDone
 	specs    []LiveWorkerSpec
+	// queueBusy accumulates, per worker, the time blocks spent waiting in
+	// the worker's channel between submission and pickup. Written only on
+	// the driving goroutine (drive), so no lock is needed.
+	queueBusy []float64
 }
 
 type liveAssign struct {
@@ -91,11 +95,12 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 	}
 	s.initCommon(cfg.TotalUnits)
 	le := &liveEngine{
-		session:  s,
-		kernel:   kernel,
-		start:    time.Now(),
-		complete: make(chan liveDone, 4*len(cfg.Workers)),
-		specs:    cfg.Workers,
+		session:   s,
+		kernel:    kernel,
+		start:     time.Now(),
+		complete:  make(chan liveDone, 4*len(cfg.Workers)),
+		specs:     cfg.Workers,
+		queueBusy: make([]float64, len(cfg.Workers)),
 	}
 	for i := range cfg.Workers {
 		ch := make(chan liveAssign, 16)
@@ -112,8 +117,17 @@ func (e *liveEngine) now() float64 { return time.Since(e.start).Seconds() }
 // with worker completions without a scheduler-visible clock.
 func (e *liveEngine) at(t float64, fn func()) bool { return false }
 
-// linkBusy is untracked on the live engine (no modeled links).
-func (e *liveEngine) linkBusy() map[string]float64 { return nil }
+// linkBusy reports per-worker queue occupancy: the time each block spent
+// waiting between submission and its worker picking it up. The live engine
+// has no modeled NIC/PCIe links, so queue wait is its analogue of link
+// contention.
+func (e *liveEngine) linkBusy() map[string]float64 {
+	out := make(map[string]float64, len(e.specs))
+	for i, w := range e.specs {
+		out[w.Name+"/queue"] = e.queueBusy[i]
+	}
+	return out
+}
 
 // executeParallel splits [lo,hi) into par contiguous stripes executed
 // concurrently. Kernels in internal/apps are safe on disjoint ranges.
@@ -147,6 +161,11 @@ func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest floa
 func (e *liveEngine) drive() error {
 	for e.session.inflight > 0 {
 		done := <-e.complete
+		if wait := done.rec.TransferEnd - done.rec.TransferStart; wait > 0 {
+			e.queueBusy[done.rec.PU] += wait
+			e.session.emitLink(e.specs[done.rec.PU].Name+"/queue",
+				done.rec.TransferStart, done.rec.TransferEnd, done.rec.Units)
+		}
 		done.callback(done.rec)
 	}
 	for _, ch := range e.workers {

@@ -5,6 +5,7 @@ import (
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/device"
+	"plbhec/internal/telemetry"
 )
 
 // Session is one execution of an application on a cluster under one
@@ -33,10 +34,32 @@ type Session struct {
 	distributions []Distribution
 	sched         Scheduler
 	violation     error
+	// tel is the optional live-telemetry hub; nil means disabled, and
+	// every emission site nil-checks first so disabled runs pay nothing.
+	tel *telemetry.Telemetry
 }
 
 // PUs returns the cluster's processing units in stable order.
 func (s *Session) PUs() []*cluster.PU { return s.pus }
+
+// AttachTelemetry wires a live-telemetry hub into the session. Call it
+// before Run; the engines and schedulers then stream task lifecycle,
+// link-occupancy, and decision events to the hub's sinks as they happen.
+func (s *Session) AttachTelemetry(t *telemetry.Telemetry) { s.tel = t }
+
+// Telemetry returns the session's hub. It may be nil — telemetry.Telemetry
+// methods are nil-safe, so schedulers can emit unconditionally.
+func (s *Session) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// emitLink publishes one link-occupancy interval (engine-internal).
+func (s *Session) emitLink(name string, start, end float64, units int64) {
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvLinkSample, Time: start, End: end,
+			PU: -1, Name: name, Units: units,
+		})
+	}
+}
 
 // Profile returns the application's kernel cost profile.
 func (s *Session) Profile() device.KernelProfile { return s.profile }
@@ -84,6 +107,12 @@ func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
 	s.inflight++
 	seq := s.seq
 	s.seq++
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvTaskSubmit, Time: s.eng.now(),
+			PU: pu.ID, Seq: seq, Units: n,
+		})
+	}
 	s.eng.launch(pu, seq, lo, hi, s.masterFree, s.onComplete)
 	return n
 }
@@ -132,6 +161,12 @@ func (s *Session) RecordDistribution(label string, xs []float64) {
 	s.distributions = append(s.distributions, Distribution{
 		Label: label, Time: s.Now(), X: norm,
 	})
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvDistribution, Time: s.Now(),
+			PU: -1, Name: label, Shares: norm,
+		})
+	}
 }
 
 // fail aborts the run with a protocol-violation error.
@@ -145,6 +180,13 @@ func (s *Session) fail(err error) {
 func (s *Session) onComplete(rec TaskRecord) {
 	s.inflight--
 	s.records = append(s.records, rec)
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvTaskComplete, Time: rec.SubmitTime, End: rec.ExecEnd,
+			TransferStart: rec.TransferStart, TransferEnd: rec.TransferEnd,
+			ExecStart: rec.ExecStart, PU: rec.PU, Seq: rec.Seq, Units: rec.Units,
+		})
+	}
 	if s.violation != nil {
 		return
 	}
@@ -190,8 +232,11 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 	for _, pu := range s.pus {
 		rep.PUNames = append(rep.PUNames, pu.Name())
 	}
+	rep.SchedulerStats = map[string]float64{}
 	if sr, ok := sched.(StatsReporter); ok {
-		rep.SchedStats = sr.Stats()
+		for k, v := range sr.Stats() {
+			rep.SchedulerStats[k] = v
+		}
 	}
 	rep.LinkBusy = s.eng.linkBusy()
 	return rep, nil

@@ -106,11 +106,15 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 	rec.TransferStart = t
 	if !pu.Machine.IsMaster && bytes > 0 {
 		hold := pu.Machine.NIC.TransferSeconds(bytes)
-		_, t = e.nicRes[pu.Machine].AcquireAfter(t, hold, nil)
+		var s0 float64
+		s0, t = e.nicRes[pu.Machine].AcquireAfter(t, hold, nil)
+		e.session.emitLink(pu.Machine.Name+"/nic", s0, t, units)
 	}
 	if pu.IsGPU() && bytes > 0 {
 		hold := pu.Machine.PCIe.TransferSeconds(bytes)
-		_, t = e.pcieRes[pu.Machine].AcquireAfter(t, hold, nil)
+		var s0 float64
+		s0, t = e.pcieRes[pu.Machine].AcquireAfter(t, hold, nil)
+		e.session.emitLink(pu.Machine.Name+"/pcie", s0, t, units)
 	}
 	rec.TransferEnd = t
 

@@ -101,7 +101,10 @@ type Report struct {
 	Distributions []Distribution
 	PUNames       []string
 	TotalUnits    int64
-	SchedStats    map[string]float64
+	// SchedulerStats carries every scheduler's Stats() counters at run
+	// end (never nil; empty for schedulers with nothing to report), so
+	// report consumers need no per-policy special cases.
+	SchedulerStats map[string]float64
 	// LinkBusy reports the total occupied seconds of each communication
 	// link ("B/nic", "B/pcie", ...) over the run — simulation engine only.
 	LinkBusy map[string]float64

@@ -277,8 +277,8 @@ func TestStatsReporterSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchedStats["x"] != 7 {
-		t.Errorf("SchedStats = %v", rep.SchedStats)
+	if rep.SchedulerStats["x"] != 7 {
+		t.Errorf("SchedStats = %v", rep.SchedulerStats)
 	}
 }
 

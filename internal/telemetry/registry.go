@@ -1,0 +1,353 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with lock-free compare-and-swap on its
+// bit pattern — the shared hot-path primitive under counters and gauges.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(d float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing metric. Increments are atomic and
+// lock-free.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be ≥ 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(d float64) { c.v.Add(d) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. Updates are atomic.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d float64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets with exponentially
+// growing upper bounds. Observe is atomic and lock-free; the bucket array
+// is immutable after construction.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Uint64
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start: start, start·factor, start·factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); linear scan beats binary search in practice
+	// and keeps the loop branch-predictable for clustered samples.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Label is one name="value" dimension of a metric series.
+type Label struct{ Key, Value string }
+
+// metricType tags a registered series for export.
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered (name, labels) instance.
+type series struct {
+	name   string
+	labels string // rendered {k="v",...} or ""
+	typ    metricType
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metric series. Registration (Counter / Gauge /
+// Histogram lookups) takes a mutex; updates on the returned handles are
+// lock-free, so hot paths should cache handles rather than re-resolve.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // keyed name+labels
+	help   map[string]string  // keyed name
+	order  []string           // registration order of series keys
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series), help: make(map[string]string)}
+}
+
+// renderLabels builds the canonical {k="v",...} suffix. Labels are sorted
+// by key so the same set always maps to the same series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Help sets the # HELP text for a metric family.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// get returns the series for (name, labels), creating it with mk on first
+// use. A type mismatch with an existing series panics (programmer error).
+func (r *Registry) get(name string, labels []Label, typ metricType, mk func() *series) *series {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		if s.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", key, typ, s.typ))
+		}
+		return s
+	}
+	s := mk()
+	s.name = name
+	s.labels = renderLabels(labels)
+	s.typ = typ
+	r.series[key] = s
+	r.order = append(r.order, key)
+	return s
+}
+
+// Counter returns (creating if needed) the counter series for name+labels.
+// Safe to call on a nil registry (returns a detached counter).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.get(name, labels, typeCounter, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Gauge returns (creating if needed) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.get(name, labels, typeGauge, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Histogram returns (creating if needed) the histogram series for
+// name+labels. bounds is only used on first creation.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		bounds = append([]float64(nil), bounds...)
+		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return r.get(name, labels, typeHistogram, func() *series {
+		bs := append([]float64(nil), bounds...)
+		return &series{h: &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}}
+	}).h
+}
+
+// Snapshot is a point-in-time copy of every series value, keyed by
+// name+rendered-labels. Histograms contribute <name>_count and <name>_sum
+// entries (with the same label suffix).
+type Snapshot map[string]float64
+
+// Snapshot captures the current value of every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, len(r.series))
+	for key, s := range r.series {
+		switch s.typ {
+		case typeCounter:
+			out[key] = s.c.Value()
+		case typeGauge:
+			out[key] = s.g.Value()
+		case typeHistogram:
+			out[s.name+"_count"+s.labels] = float64(s.h.Count())
+			out[s.name+"_sum"+s.labels] = s.h.Sum()
+		}
+	}
+	return out
+}
+
+// Get returns the value of one series (0 if absent).
+func (s Snapshot) Get(name string, labels ...Label) float64 {
+	return s[name+renderLabels(labels)]
+}
+
+// Total sums every series of a metric family across its label sets.
+func (s Snapshot) Total(name string) float64 {
+	var sum float64
+	for k, v := range s {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, # HELP/# TYPE headers,
+// histogram buckets cumulative with the canonical le/+Inf encoding.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	byKey := make(map[string]*series, len(r.series))
+	for k, s := range r.series {
+		byKey[k] = s
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := byKey[keys[i]], byKey[keys[j]]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.labels < b.labels
+	})
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, key := range keys {
+		s := byKey[key]
+		if s.name != lastFamily {
+			lastFamily = s.name
+			if h := help[s.name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.typ)
+		}
+		switch s.typ {
+		case typeCounter:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, s.labels, fmtVal(s.c.Value()))
+		case typeGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, s.labels, fmtVal(s.g.Value()))
+		case typeHistogram:
+			var cum uint64
+			for i, bound := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", fmtVal(bound)), cum)
+			}
+			cum += s.h.counts[len(s.h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, s.labels, fmtVal(s.h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, s.labels, s.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLabel inserts one extra label into an already-rendered label suffix.
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func fmtVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

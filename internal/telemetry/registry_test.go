@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", Label{"pu", "gpu-0"})
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %g, want 3.5", got)
+	}
+	if again := reg.Counter("c_total", Label{"pu", "gpu-0"}); again != c {
+		t.Error("same name+labels must resolve to the same counter")
+	}
+
+	g := reg.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %g, want 5", got)
+	}
+
+	h := reg.Histogram("h_seconds", ExpBuckets(1, 2, 4)) // 1 2 4 8
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 105 {
+		t.Errorf("histogram sum = %g, want 105", h.Sum())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Get("c_total", Label{"pu", "gpu-0"}); got != 3.5 {
+		t.Errorf("snapshot counter = %g, want 3.5", got)
+	}
+	if got := snap.Total("c_total"); got != 3.5 {
+		t.Errorf("snapshot total = %g, want 3.5", got)
+	}
+	if got := snap["h_seconds_count"]; got != 4 {
+		t.Errorf("snapshot histogram count = %g, want 4", got)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("x_total", "an example counter")
+	reg.Counter("x_total", Label{"pu", "m1/cpu"}).Add(2)
+	reg.Counter("x_total", Label{"pu", "m1/gpu"}).Add(3)
+	reg.Gauge("y").Set(1.25)
+	h := reg.Histogram("z_seconds", ExpBuckets(1, 2, 2)) // 1 2
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_total an example counter",
+		"# TYPE x_total counter",
+		`x_total{pu="m1/cpu"} 2`,
+		`x_total{pu="m1/gpu"} 3`,
+		"# TYPE y gauge",
+		"y 1.25",
+		"# TYPE z_seconds histogram",
+		`z_seconds_bucket{le="1"} 1`,
+		`z_seconds_bucket{le="2"} 1`,
+		`z_seconds_bucket{le="+Inf"} 2`,
+		"z_seconds_sum 3.5",
+		"z_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("e_total", Label{"k", `a"b\c`}).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `e_total{k="a\"b\\c"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge, and histogram from 16
+// goroutines; run with -race (CI does) to validate the lock-free paths.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("stress_total")
+	g := reg.Gauge("stress_gauge")
+	h := reg.Histogram("stress_seconds", ExpBuckets(1e-3, 10, 6))
+
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 50)
+				// Concurrent registration of the same series must be safe too.
+				reg.Counter("stress_labeled_total", Label{"w", "shared"}).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const n = workers * perWorker
+	if got := c.Value(); got != n {
+		t.Errorf("counter = %g, want %d", got, n)
+	}
+	if got := g.Value(); got != n {
+		t.Errorf("gauge = %g, want %d", got, n)
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("histogram count = %d, want %d", got, n)
+	}
+	if got := reg.Snapshot().Get("stress_labeled_total", Label{"w", "shared"}); got != n {
+		t.Errorf("labeled counter = %g, want %d", got, n)
+	}
+}
+
+func TestNilTelemetryIsInert(t *testing.T) {
+	var tel *Telemetry
+	tel.Emit(Event{Kind: EvTaskSubmit})
+	tel.Attach(&collectSink{})
+	if tel.Enabled() {
+		t.Error("nil telemetry must not be enabled")
+	}
+	if tel.Registry() != nil {
+		t.Error("nil telemetry must have nil registry")
+	}
+	// A nil registry still vends usable (detached) metrics.
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z", ExpBuckets(1, 2, 2)).Observe(1)
+	if got := reg.Snapshot().Total("x"); got != 0 {
+		t.Errorf("nil registry snapshot = %g, want empty", got)
+	}
+}
+
+func TestBusDelivery(t *testing.T) {
+	tel := New()
+	if tel.Enabled() {
+		t.Error("fresh hub must be disabled")
+	}
+	s1, s2 := &collectSink{}, &collectSink{}
+	tel.Attach(s1)
+	tel.Attach(s2)
+	if !tel.Enabled() {
+		t.Error("hub with sinks must be enabled")
+	}
+	tel.Emit(Event{Kind: EvPhase, Name: "modeling", Time: 1})
+	tel.Emit(Event{Kind: EvTaskComplete, PU: 2, Time: 1, End: 3, ExecStart: 2})
+	for _, s := range []*collectSink{s1, s2} {
+		if len(s.evs) != 2 {
+			t.Fatalf("sink got %d events, want 2", len(s.evs))
+		}
+		if s.evs[0].Name != "modeling" || s.evs[1].PU != 2 {
+			t.Errorf("events delivered wrong: %+v", s.evs)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-4, 4, 3)
+	want := []float64{1e-4, 4e-4, 16e-4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+type collectSink struct{ evs []Event }
+
+func (c *collectSink) Consume(ev Event) { c.evs = append(c.evs, ev) }

@@ -1,0 +1,182 @@
+package telemetry
+
+import "math"
+
+// RunMetrics is the canonical event→metric projection: attach one to a
+// session's telemetry hub and the registry fills with the plbhec_* metric
+// set documented in docs/OBSERVABILITY.md. Per-PU handles are resolved
+// once at construction, so consuming an event never takes the registry
+// lock.
+type RunMetrics struct {
+	reg     *Registry
+	puNames []string
+
+	submitted, completed []*Counter
+	units                []*Counter
+	busy, transfer       []*Counter
+	inflight             []*Gauge
+	fitRMSE, fitR2       []*Gauge
+
+	execHist *Histogram
+
+	linkBusy map[string]*Counter
+
+	phases map[string]*Counter
+	phase  *Gauge
+
+	fits, solves, fallbacks    *Counter
+	ipmIterations, ipmResidual *Gauge
+	coverage                   *Gauge
+	distChanges                *Counter
+	l1Delta                    *Gauge
+	failovers, keepAlives      *Counter
+
+	lastShares []float64
+	phaseCodes map[string]int
+}
+
+// NewRunMetrics registers the canonical metric set on reg for a run over
+// the given processing units (cluster order) and returns the sink.
+func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
+	m := &RunMetrics{
+		reg:        reg,
+		puNames:    puNames,
+		linkBusy:   make(map[string]*Counter),
+		phases:     make(map[string]*Counter),
+		phaseCodes: make(map[string]int),
+	}
+	reg.Help("plbhec_tasks_submitted_total", "Blocks assigned to each processing unit")
+	reg.Help("plbhec_tasks_completed_total", "Blocks completed by each processing unit")
+	reg.Help("plbhec_units_processed_total", "Work units completed by each processing unit")
+	reg.Help("plbhec_pu_busy_seconds", "Cumulative kernel-execution seconds per processing unit")
+	reg.Help("plbhec_pu_transfer_seconds", "Cumulative data-movement seconds per processing unit")
+	reg.Help("plbhec_pu_inflight", "Blocks currently assigned but unfinished per processing unit")
+	reg.Help("plbhec_task_exec_seconds", "Distribution of per-block kernel execution times")
+	reg.Help("plbhec_link_busy_seconds", "Cumulative occupancy seconds per communication link")
+	reg.Help("plbhec_sched_phase_transitions_total", "Scheduler phase entries by phase name")
+	reg.Help("plbhec_sched_phase", "Current scheduler phase as a numeric code (order of first appearance)")
+	reg.Help("plbhec_model_fits_total", "Curve-fitting passes performed")
+	reg.Help("plbhec_fit_rmse_seconds", "RMSE of the latest execution-time fit per processing unit")
+	reg.Help("plbhec_fit_r2", "R-squared of the latest execution-time fit per processing unit")
+	reg.Help("plbhec_ipm_solves_total", "Block-size equation-system solves")
+	reg.Help("plbhec_ipm_iterations", "Newton iterations of the latest interior-point solve")
+	reg.Help("plbhec_ipm_kkt_residual", "KKT residual of the latest interior-point solve")
+	reg.Help("plbhec_ipm_fallbacks_total", "Solves that fell back to bisection")
+	reg.Help("plbhec_model_coverage_ratio", "Fraction of the input consumed by the modeling phase")
+	reg.Help("plbhec_distribution_changes_total", "Recorded block-size distributions")
+	reg.Help("plbhec_distribution_l1_delta", "L1 distance between the last two recorded distributions")
+	reg.Help("plbhec_rebalances_total", "Triggered redistributions by cause")
+	reg.Help("plbhec_failovers_total", "Processing units observed failed")
+	reg.Help("plbhec_keepalives_total", "Stall-prevention assignments")
+
+	n := len(puNames)
+	m.submitted = make([]*Counter, n)
+	m.completed = make([]*Counter, n)
+	m.units = make([]*Counter, n)
+	m.busy = make([]*Counter, n)
+	m.transfer = make([]*Counter, n)
+	m.inflight = make([]*Gauge, n)
+	m.fitRMSE = make([]*Gauge, n)
+	m.fitR2 = make([]*Gauge, n)
+	for i, name := range puNames {
+		l := Label{"pu", name}
+		m.submitted[i] = reg.Counter("plbhec_tasks_submitted_total", l)
+		m.completed[i] = reg.Counter("plbhec_tasks_completed_total", l)
+		m.units[i] = reg.Counter("plbhec_units_processed_total", l)
+		m.busy[i] = reg.Counter("plbhec_pu_busy_seconds", l)
+		m.transfer[i] = reg.Counter("plbhec_pu_transfer_seconds", l)
+		m.inflight[i] = reg.Gauge("plbhec_pu_inflight", l)
+		m.fitRMSE[i] = reg.Gauge("plbhec_fit_rmse_seconds", l)
+		m.fitR2[i] = reg.Gauge("plbhec_fit_r2", l)
+	}
+	m.execHist = reg.Histogram("plbhec_task_exec_seconds", ExpBuckets(1e-4, 4, 16))
+	m.phase = reg.Gauge("plbhec_sched_phase")
+	m.fits = reg.Counter("plbhec_model_fits_total")
+	m.solves = reg.Counter("plbhec_ipm_solves_total")
+	m.fallbacks = reg.Counter("plbhec_ipm_fallbacks_total")
+	m.ipmIterations = reg.Gauge("plbhec_ipm_iterations")
+	m.ipmResidual = reg.Gauge("plbhec_ipm_kkt_residual")
+	m.coverage = reg.Gauge("plbhec_model_coverage_ratio")
+	m.distChanges = reg.Counter("plbhec_distribution_changes_total")
+	m.l1Delta = reg.Gauge("plbhec_distribution_l1_delta")
+	m.failovers = reg.Counter("plbhec_failovers_total")
+	m.keepAlives = reg.Counter("plbhec_keepalives_total")
+	return m
+}
+
+// okPU bounds-checks an event's PU index against the known units.
+func (m *RunMetrics) okPU(pu int) bool { return pu >= 0 && pu < len(m.puNames) }
+
+// Consume implements Sink.
+func (m *RunMetrics) Consume(ev Event) {
+	switch ev.Kind {
+	case EvTaskSubmit:
+		if m.okPU(ev.PU) {
+			m.submitted[ev.PU].Inc()
+			m.inflight[ev.PU].Add(1)
+		}
+	case EvTaskComplete:
+		if m.okPU(ev.PU) {
+			m.completed[ev.PU].Inc()
+			m.inflight[ev.PU].Add(-1)
+			m.units[ev.PU].Add(float64(ev.Units))
+			exec := ev.End - ev.ExecStart
+			m.busy[ev.PU].Add(exec)
+			m.transfer[ev.PU].Add(ev.TransferEnd - ev.TransferStart)
+			m.execHist.Observe(exec)
+		}
+	case EvLinkSample:
+		c, ok := m.linkBusy[ev.Name]
+		if !ok {
+			c = m.reg.Counter("plbhec_link_busy_seconds", Label{"link", ev.Name})
+			m.linkBusy[ev.Name] = c
+		}
+		c.Add(ev.End - ev.Time)
+	case EvDistribution:
+		m.distChanges.Inc()
+		if m.lastShares != nil && len(m.lastShares) == len(ev.Shares) {
+			var d float64
+			for i := range ev.Shares {
+				d += math.Abs(ev.Shares[i] - m.lastShares[i])
+			}
+			m.l1Delta.Set(d)
+		}
+		m.lastShares = append(m.lastShares[:0], ev.Shares...)
+	case EvPhase:
+		c, ok := m.phases[ev.Name]
+		if !ok {
+			c = m.reg.Counter("plbhec_sched_phase_transitions_total", Label{"phase", ev.Name})
+			m.phases[ev.Name] = c
+			m.phaseCodes[ev.Name] = len(m.phaseCodes)
+		}
+		c.Inc()
+		m.phase.Set(float64(m.phaseCodes[ev.Name]))
+	case EvFit:
+		if m.okPU(ev.PU) {
+			m.fitRMSE[ev.PU].Set(ev.Value)
+			m.fitR2[ev.PU].Set(ev.Aux)
+		} else {
+			// PU = -1 marks the pass-level event (one per FitAll).
+			m.fits.Inc()
+		}
+	case EvSolve:
+		m.solves.Inc()
+		m.ipmIterations.Set(ev.Value)
+		m.ipmResidual.Set(ev.Aux)
+		if ev.Name == "fallback" {
+			m.fallbacks.Inc()
+		}
+	case EvCoverage:
+		m.coverage.Set(ev.Value)
+	case EvRebalance:
+		cause := ev.Name
+		if cause == "" {
+			cause = "unspecified"
+		}
+		m.reg.Counter("plbhec_rebalances_total", Label{"cause", cause}).Inc()
+	case EvFailover:
+		m.failovers.Inc()
+	case EvKeepAlive:
+		m.keepAlives.Inc()
+	}
+}

@@ -1,0 +1,178 @@
+// Package telemetry is the runtime's live observability layer: a
+// concurrency-safe metrics registry (counters, gauges, histograms with
+// fixed exponential buckets — atomic hot paths, no locks on increment) and
+// a streaming event bus with pluggable sinks.
+//
+// Both engines and every scheduler emit events through the bus while a run
+// is in flight; sinks project those events into whatever a consumer needs:
+//
+//   - RunMetrics folds them into the canonical plbhec_* metric set,
+//     servable as Prometheus text over HTTP (Handler / ListenAndServe);
+//   - PerfettoSink buffers them into a Chrome trace_event JSON file that
+//     opens directly in ui.perfetto.dev (one track per processing unit, one
+//     per communication link, async slices for scheduler phases);
+//   - trace.Sink (internal/trace) turns them into the JSONL event trace.
+//
+// The whole layer costs ~zero when unused: a nil *Telemetry is a valid
+// no-op receiver, and an attached-but-sinkless bus bails out on one atomic
+// load per event (see BenchmarkTelemetryDisabled).
+package telemetry
+
+import "sync/atomic"
+
+// EventKind labels one runtime event.
+type EventKind uint8
+
+// The event kinds emitted by the engines and schedulers.
+const (
+	// EvTaskSubmit fires when the scheduler assigns a block to a unit.
+	// Fields: Time (submission), PU, Seq, Units.
+	EvTaskSubmit EventKind = iota
+	// EvTaskComplete fires when a block finishes, carrying its whole
+	// lifecycle: Time (submission), TransferStart/TransferEnd/ExecStart,
+	// End (exec end), PU, Seq, Units.
+	EvTaskComplete
+	// EvLinkSample is one occupancy interval of a communication link
+	// (NIC, PCIe bus, or a live worker's queue): Name, Time, End, Units.
+	EvLinkSample
+	// EvDistribution is a recorded block-size split: Time, Name (label),
+	// Shares (normalized, Σ=1).
+	EvDistribution
+	// EvPhase marks a scheduler phase transition: Time, Name (the phase
+	// entered). The previous phase implicitly ends here.
+	EvPhase
+	// EvFit reports one per-unit curve fit: Time, PU, Value (RMSE of the
+	// execution-time fit), Aux (R²).
+	EvFit
+	// EvSolve reports one block-size solve: Time, Value (solver
+	// iterations), Aux (KKT residual), Name ("ipm", "fallback", "failed").
+	EvSolve
+	// EvCoverage reports modeling-phase data coverage: Time, Value
+	// (fraction of the input consumed by probing).
+	EvCoverage
+	// EvRebalance marks a triggered redistribution: Time, Name (cause:
+	// "threshold", "failure", "iteration").
+	EvRebalance
+	// EvFailover marks a unit observed failed: Time, PU, Name (unit name).
+	EvFailover
+	// EvKeepAlive marks a stall-prevention assignment: Time, PU.
+	EvKeepAlive
+)
+
+// String names the kind for sinks and debug output.
+func (k EventKind) String() string {
+	switch k {
+	case EvTaskSubmit:
+		return "task-submit"
+	case EvTaskComplete:
+		return "task-complete"
+	case EvLinkSample:
+		return "link-sample"
+	case EvDistribution:
+		return "distribution"
+	case EvPhase:
+		return "phase"
+	case EvFit:
+		return "fit"
+	case EvSolve:
+		return "solve"
+	case EvCoverage:
+		return "coverage"
+	case EvRebalance:
+		return "rebalance"
+	case EvFailover:
+		return "failover"
+	case EvKeepAlive:
+		return "keep-alive"
+	}
+	return "unknown"
+}
+
+// Event is one runtime occurrence. It is a flat value type so emission
+// never allocates; which fields are meaningful depends on Kind (see the
+// kind constants). All times are engine seconds.
+type Event struct {
+	Kind EventKind
+	Time float64 // event time, or span start
+	End  float64 // span end (task exec end, link hold end)
+
+	// Task lifecycle detail (EvTaskComplete only).
+	TransferStart, TransferEnd, ExecStart float64
+
+	PU    int    // processing-unit ID (-1 when not applicable)
+	Seq   int    // submission sequence number
+	Units int64  // block size in work units
+	Name  string // link/phase/label/cause, per Kind
+
+	Value  float64   // primary payload (RMSE, iterations, coverage...)
+	Aux    float64   // secondary payload (R², KKT residual...)
+	Shares []float64 // distribution events only
+}
+
+// Sink consumes events from the bus. The runtime emits events serialized
+// on the driving goroutine, so Consume never runs concurrently with itself
+// for sinks attached to one session.
+type Sink interface {
+	Consume(Event)
+}
+
+// Telemetry bundles the metrics registry and the event bus of one run.
+// A nil *Telemetry is valid and inert, so instrumented code needs no
+// enabled-checks beyond passing the pointer around.
+type Telemetry struct {
+	reg   *Registry
+	sinks atomic.Pointer[[]Sink]
+}
+
+// New returns an enabled telemetry hub with a fresh registry.
+func New() *Telemetry {
+	return &Telemetry{reg: NewRegistry()}
+}
+
+// Registry returns the hub's metrics registry (nil on a nil hub).
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Attach adds a sink to the bus. No-op on a nil hub. Attach is safe to
+// call concurrently with Emit, but sinks should be attached before the run
+// starts to observe every event.
+func (t *Telemetry) Attach(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	for {
+		old := t.sinks.Load()
+		var next []Sink
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, s)
+		if t.sinks.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// Emit delivers ev to every attached sink. The fast path — nil hub or no
+// sinks — is one nil check plus one atomic load, no allocations.
+func (t *Telemetry) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	sp := t.sinks.Load()
+	if sp == nil {
+		return
+	}
+	for _, s := range *sp {
+		s.Consume(ev)
+	}
+}
+
+// Enabled reports whether at least one sink is attached.
+func (t *Telemetry) Enabled() bool {
+	return t != nil && t.sinks.Load() != nil
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"plbhec/internal/telemetry"
+)
+
+// Sink streams telemetry events into trace Events as a run executes — the
+// live counterpart of FromReport, producing the identical record set
+// without waiting for the final report. Attach it to a session's telemetry
+// hub, then read Events after the run.
+type Sink struct {
+	puNames []string
+	evs     []Event
+}
+
+// NewSink returns a trace sink for a run over the given processing units
+// (cluster order).
+func NewSink(puNames []string) *Sink { return &Sink{puNames: puNames} }
+
+func (k *Sink) name(pu int) string {
+	if pu >= 0 && pu < len(k.puNames) {
+		return k.puNames[pu]
+	}
+	return fmt.Sprintf("pu-%d", pu)
+}
+
+// Consume implements telemetry.Sink.
+func (k *Sink) Consume(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.EvTaskSubmit:
+		k.evs = append(k.evs, Event{
+			Kind: EventSubmit, Time: ev.Time,
+			PU: ev.PU, Name: k.name(ev.PU), Units: ev.Units, Seq: ev.Seq,
+		})
+	case telemetry.EvTaskComplete:
+		if ev.TransferEnd > ev.TransferStart {
+			k.evs = append(k.evs, Event{
+				Kind: EventTransfer, Time: ev.TransferStart, End: ev.TransferEnd,
+				PU: ev.PU, Name: k.name(ev.PU), Units: ev.Units, Seq: ev.Seq,
+			})
+		}
+		k.evs = append(k.evs, Event{
+			Kind: EventExec, Time: ev.ExecStart, End: ev.End,
+			PU: ev.PU, Name: k.name(ev.PU), Units: ev.Units, Seq: ev.Seq,
+		})
+	case telemetry.EvDistribution:
+		k.evs = append(k.evs, Event{
+			Kind: EventDistribution, Time: ev.Time, Label: ev.Name,
+			Shares: append([]float64(nil), ev.Shares...),
+		})
+	}
+}
+
+// Events returns the accumulated trace in the same time order FromReport
+// produces.
+func (k *Sink) Events() []Event {
+	evs := append([]Event(nil), k.evs...)
+	sortEvents(evs)
+	return evs
+}
+
+// sortEvents orders a trace by time, breaking ties by sequence number.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+}

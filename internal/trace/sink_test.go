@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"plbhec/internal/telemetry"
+)
+
+// TestSinkMatchesFromReport feeds the telemetry events a run would emit
+// and asserts the live sink reproduces FromReport's trace exactly.
+func TestSinkMatchesFromReport(t *testing.T) {
+	rep := sampleReport()
+	sink := NewSink(rep.PUNames)
+	for _, r := range rep.Records {
+		sink.Consume(telemetry.Event{
+			Kind: telemetry.EvTaskSubmit, Time: r.SubmitTime,
+			PU: r.PU, Seq: r.Seq, Units: r.Units,
+		})
+	}
+	for _, r := range rep.Records {
+		sink.Consume(telemetry.Event{
+			Kind: telemetry.EvTaskComplete, Time: r.SubmitTime, End: r.ExecEnd,
+			TransferStart: r.TransferStart, TransferEnd: r.TransferEnd,
+			ExecStart: r.ExecStart, PU: r.PU, Seq: r.Seq, Units: r.Units,
+		})
+	}
+	for _, d := range rep.Distributions {
+		sink.Consume(telemetry.Event{
+			Kind: telemetry.EvDistribution, Time: d.Time, PU: -1,
+			Name: d.Label, Shares: d.X,
+		})
+	}
+
+	got := sink.Events()
+	want := FromReport(rep)
+	if len(got) != len(want) {
+		t.Fatalf("sink produced %d events, FromReport %d", len(got), len(want))
+	}
+	// Same sort key (time, seq) on the same event set; compare as multisets
+	// per (time) bucket since same-time events may interleave differently.
+	count := func(evs []Event) map[string]int {
+		m := map[string]int{}
+		for _, e := range evs {
+			e.Shares = nil // compared separately below
+			m[fmtEvent(e)]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(got), count(want)) {
+		t.Errorf("event multisets differ:\n got %v\nwant %v", count(got), count(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatal("sink events not time-ordered")
+		}
+	}
+}
+
+func fmtEvent(e Event) string {
+	return fmt.Sprintf("%s|t=%g|end=%g|pu=%d|units=%d|seq=%d|name=%s|label=%s",
+		e.Kind, e.Time, e.End, e.PU, e.Units, e.Seq, e.Name, e.Label)
+}

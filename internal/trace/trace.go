@@ -67,12 +67,7 @@ func FromReport(rep *starpu.Report) []Event {
 			Kind: EventDistribution, Time: d.Time, Label: d.Label, Shares: d.X,
 		})
 	}
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].Time != evs[j].Time {
-			return evs[i].Time < evs[j].Time
-		}
-		return evs[i].Seq < evs[j].Seq
-	})
+	sortEvents(evs)
 	return evs
 }
 
