@@ -8,15 +8,25 @@
 //	plbbench -exp fig4        # one experiment
 //	plbbench -quick           # reduced sizes and repetitions
 //	plbbench -csv results     # also emit CSV files under results/
+//	plbbench -jobs 4          # fan cells and repetitions over 4 workers
 //	plbbench -list            # list experiments
+//
+// Cells and repetitions fan out over -jobs workers (default: all CPUs);
+// results are identical to a sequential run at any -jobs value. ^C cancels
+// in-flight simulations and exits with the cancellation error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"plbhec/internal/expt"
+	"plbhec/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +35,8 @@ func main() {
 		csvDir = flag.String("csv", "", "directory for CSV output (empty: none)")
 		seeds  = flag.Int("seeds", 0, "repetitions per cell (0: the paper's 10)")
 		quick  = flag.Bool("quick", false, "reduced input sizes and repetitions")
+		jobs   = flag.Int("jobs", runtime.NumCPU(), "worker-pool size for cells and repetitions (1: sequential)")
+		listen = flag.String("listen", "", "serve live progress gauges on this address (e.g. :9090/metrics)")
 		list   = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -36,7 +48,25 @@ func main() {
 		return
 	}
 
-	opts := expt.Options{Out: os.Stdout, CSVDir: *csvDir, Seeds: *seeds, Quick: *quick}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := expt.Options{
+		Out: os.Stdout, CSVDir: *csvDir, Seeds: *seeds, Quick: *quick,
+		Jobs: *jobs, Ctx: ctx,
+	}
+	if *listen != "" {
+		reg := telemetry.NewRegistry()
+		srv, addr, _, err := telemetry.ListenAndServe(*listen, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbbench: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "plbbench: serving progress metrics on http://%s/metrics\n", addr)
+		opts.Metrics = reg
+	}
+
 	var err error
 	if *exp == "" {
 		err = expt.RunAll(opts)

@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/expt"
@@ -84,10 +87,14 @@ func main() {
 		}
 		sess.AttachTelemetry(tel)
 	}
-	var srvAddr net.Addr
+	var (
+		srv     *http.Server
+		srvAddr net.Addr
+		srvErr  <-chan error
+	)
 	if *listen != "" {
 		var err error
-		_, srvAddr, err = telemetry.ListenAndServe(*listen, tel.Registry())
+		srv, srvAddr, srvErr, err = telemetry.ListenAndServe(*listen, tel.Registry())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
 			os.Exit(1)
@@ -169,7 +176,22 @@ func main() {
 		fmt.Printf("\nrun finished; metrics still serving on http://%s — interrupt (ctrl-C) to exit\n", srvAddr)
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		select {
+		case <-ch:
+			// Graceful shutdown: finish in-flight scrapes, then exit.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "plbsim: shutdown: %v\n", err)
+				os.Exit(1)
+			}
+		case err := <-srvErr:
+			// The endpoint died on its own — no longer a silent failure.
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plbsim: metrics server: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 

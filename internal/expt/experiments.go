@@ -1,9 +1,12 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"plbhec/internal/telemetry"
 )
 
 // Options configures an experiment run.
@@ -13,6 +16,31 @@ type Options struct {
 	Seeds    int       // repetitions per cell (0 = paper's 10)
 	Quick    bool      // reduced sizes/seeds for smoke tests and CI
 	Markdown bool      // render tables as markdown (cmd/plbreport)
+
+	// Jobs bounds the worker pool that cells and repetitions fan out over
+	// (0: runtime.GOMAXPROCS; 1: today's sequential behavior). Results are
+	// identical for every value — see Runner.
+	Jobs int
+	// Ctx cancels in-flight runs (nil: background). plbbench wires ^C here.
+	Ctx context.Context
+	// Metrics optionally receives the expt_cells_active / expt_cells_done /
+	// expt_cell_panics progress gauges.
+	Metrics *telemetry.Registry
+
+	// pool is the shared runner RunAll threads through every experiment so
+	// one -jobs bound governs the whole sweep.
+	pool *Runner
+}
+
+// runner returns the shared pool, or builds one from the options for a
+// standalone experiment invocation.
+func (o Options) runner() *Runner {
+	if o.pool != nil {
+		return o.pool
+	}
+	r := NewRunner(o.Ctx, o.Jobs)
+	r.AttachMetrics(o.Metrics)
+	return r
 }
 
 func (o Options) seeds() int {
@@ -54,9 +82,15 @@ func All() []Experiment {
 	return out
 }
 
-// RunAll executes every registered experiment in ID order.
+// RunAll executes every registered experiment in ID order. Experiments run
+// one after another (their tables print in order), each fanning its cells
+// and repetitions over one shared worker pool.
 func RunAll(o Options) error {
+	o.pool = o.runner()
 	for _, e := range All() {
+		if err := o.pool.Context().Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(o.Out, "\n########## %s — %s ##########\n", e.ID, e.Paper)
 		if err := e.Run(o); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)

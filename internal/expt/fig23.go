@@ -27,7 +27,7 @@ func init() {
 func runFig2(o Options) error {
 	size := o.size(MM, 16384)
 	sc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 7}
-	res, err := RunCell(sc, PLBHeC)
+	res, err := o.runner().RunCell(sc, PLBHeC)
 	if err != nil {
 		return err
 	}
@@ -75,6 +75,7 @@ func runFig3(o Options) error {
 	sc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 11}
 	clu := sc.Cluster(0)
 	sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+	sess.SetContext(o.runner().Context())
 	s, err := NewScheduler(PLBHeC, InitialBlock(MM, size, 2))
 	if err != nil {
 		return err

@@ -27,36 +27,50 @@ func init() {
 
 // runTimeSweep reproduces Figs. 4/5: for each application, input size and
 // machine count, the mean execution time (±σ over repetitions) of the four
-// schedulers and their speedup relative to greedy.
+// schedulers and their speedup relative to greedy. The whole
+// (size × machines × scheduler) grid fans out over the worker pool; rows
+// are emitted in grid order afterwards, so the table is byte-identical at
+// any -jobs value.
 func runTimeSweep(o Options, id string, kinds []AppKind) error {
+	r := o.runner()
 	for _, kind := range kinds {
 		t := NewTable(
 			fmt.Sprintf("%s — %s execution times (s) and speedup vs greedy", id, kind),
 			"Size", "Machines", "Scheduler", "Time s", "Std", "Speedup")
+		var cells []Cell
+		type rowRef struct {
+			size         int64
+			m            int
+			name         SchedName
+			idx, baseIdx int
+		}
+		var rows []rowRef
 		for _, rawSize := range PaperSizes(kind) {
 			size := o.size(kind, rawSize)
 			for _, m := range o.machinesAxis() {
 				sc := Scenario{Kind: kind, Size: size, Machines: m, Seeds: o.seeds(), BaseSeed: 1000}
-				base, err := RunCell(sc, Greedy)
-				if err != nil {
-					return err
-				}
+				baseIdx := len(cells)
+				cells = append(cells, Cell{sc, Greedy})
 				for _, name := range PaperSchedulers() {
-					var res *Result
-					if name == Greedy {
-						res = base
-					} else {
-						res, err = RunCell(sc, name)
-						if err != nil {
-							return err
-						}
+					idx := baseIdx
+					if name != Greedy {
+						idx = len(cells)
+						cells = append(cells, Cell{sc, name})
 					}
-					t.AddRow(size, m, string(name),
-						fmt.Sprintf("%.3f", res.Makespan.Mean),
-						fmt.Sprintf("%.3f", res.Makespan.Std),
-						fmt.Sprintf("%.2f", Speedup(res, base)))
+					rows = append(rows, rowRef{size, m, name, idx, baseIdx})
 				}
 			}
+		}
+		results, err := r.RunCells(cells)
+		if err != nil {
+			return err
+		}
+		for _, rr := range rows {
+			res, base := results[rr.idx], results[rr.baseIdx]
+			t.AddRow(rr.size, rr.m, string(rr.name),
+				fmt.Sprintf("%.3f", res.Makespan.Mean),
+				fmt.Sprintf("%.3f", res.Makespan.Std),
+				fmt.Sprintf("%.2f", Speedup(res, base)))
 		}
 		if err := t.Emit(o, fmt.Sprintf("%s-%s", id, kind)); err != nil {
 			return err
@@ -71,9 +85,23 @@ func runHeadline(o Options) error {
 	kind := MM
 	size := o.size(kind, PaperSizes(kind)[2])
 	sc := Scenario{Kind: kind, Size: size, Machines: 4, Seeds: o.seeds(), BaseSeed: 1000}
-	base, err := RunCell(sc, Greedy)
+	r := o.runner()
+	// One cell per scheduler, greedy first as the baseline; all four fan
+	// out together.
+	cells := []Cell{{sc, Greedy}}
+	for _, name := range PaperSchedulers() {
+		if name != Greedy {
+			cells = append(cells, Cell{sc, name})
+		}
+	}
+	results, err := r.RunCells(cells)
 	if err != nil {
 		return err
+	}
+	base := results[0]
+	byName := map[SchedName]*Result{Greedy: base}
+	for i, c := range cells[1:] {
+		byName[c.Name] = results[i+1]
 	}
 	t := NewTable(
 		fmt.Sprintf("Headline speedups vs greedy — MM %d, 4 machines (paper: PLB-HeC 2.2, HDSS 1.2, Acosta 1.04)", size),
@@ -81,15 +109,7 @@ func runHeadline(o Options) error {
 	paper := map[SchedName]string{PLBHeC: "2.2", HDSS: "1.2", Acosta: "1.04", Greedy: "1.0"}
 	chart := NewBarChart("speedup vs greedy (measured)", "x")
 	for _, name := range PaperSchedulers() {
-		var res *Result
-		if name == Greedy {
-			res = base
-		} else {
-			res, err = RunCell(sc, name)
-			if err != nil {
-				return err
-			}
-		}
+		res := byName[name]
 		t.AddRow(string(name), fmt.Sprintf("%.2f", res.Makespan.Mean),
 			fmt.Sprintf("%.2f", Speedup(res, base)), paper[name])
 		chart.Add(string(name), Speedup(res, base))

@@ -30,25 +30,24 @@ func twoSizes(o Options, kind AppKind) []int64 {
 // repetitions with standard deviations.
 func runFig6(o Options) error {
 	scheds := []SchedName{Acosta, HDSS, PLBHeC}
+	r := o.runner()
 	for _, kind := range []AppKind{MM, GRN, BS} {
 		t := NewTable(
 			fmt.Sprintf("fig6 — %s block-size distribution per processing unit (share of one step)", kind),
 			"Size", "Scheduler", "PU", "Share", "Std")
-		for _, size := range twoSizes(o, kind) {
-			sc := Scenario{Kind: kind, Size: size, Machines: 4, Seeds: o.seeds(), BaseSeed: 2000}
-			for _, name := range scheds {
-				res, err := RunCell(sc, name)
-				if err != nil {
-					return err
+		cells := sizeSchedGrid(o, kind, 2000, scheds)
+		results, err := r.RunCells(cells)
+		if err != nil {
+			return err
+		}
+		for ci, res := range results {
+			for i, pu := range res.PUNames {
+				share, std := 0.0, 0.0
+				if i < len(res.DistMean) {
+					share, std = res.DistMean[i], res.DistStd[i]
 				}
-				for i, pu := range res.PUNames {
-					share, std := 0.0, 0.0
-					if i < len(res.DistMean) {
-						share, std = res.DistMean[i], res.DistStd[i]
-					}
-					t.AddRow(size, string(name), pu,
-						fmt.Sprintf("%.4f", share), fmt.Sprintf("%.4f", std))
-				}
+				t.AddRow(cells[ci].Sc.Size, string(cells[ci].Name), pu,
+					fmt.Sprintf("%.4f", share), fmt.Sprintf("%.4f", std))
 			}
 		}
 		if err := t.Emit(o, fmt.Sprintf("fig6-%s", kind)); err != nil {
@@ -58,25 +57,37 @@ func runFig6(o Options) error {
 	return nil
 }
 
+// sizeSchedGrid builds the (two sizes × schedulers) cell grid Figs. 6–7
+// share, in row-emission order.
+func sizeSchedGrid(o Options, kind AppKind, baseSeed int64, scheds []SchedName) []Cell {
+	var cells []Cell
+	for _, size := range twoSizes(o, kind) {
+		sc := Scenario{Kind: kind, Size: size, Machines: 4, Seeds: o.seeds(), BaseSeed: baseSeed}
+		for _, name := range scheds {
+			cells = append(cells, Cell{sc, name})
+		}
+	}
+	return cells
+}
+
 // runFig7 reproduces Fig. 7: the fraction of the run each processing unit
 // spent idle, for PLB-HeC and HDSS.
 func runFig7(o Options) error {
 	scheds := []SchedName{PLBHeC, HDSS}
+	r := o.runner()
 	for _, kind := range []AppKind{MM, GRN, BS} {
 		t := NewTable(
 			fmt.Sprintf("fig7 — %s processing-unit idle time (fraction of execution)", kind),
 			"Size", "Scheduler", "PU", "Idle", "Std")
-		for _, size := range twoSizes(o, kind) {
-			sc := Scenario{Kind: kind, Size: size, Machines: 4, Seeds: o.seeds(), BaseSeed: 3000}
-			for _, name := range scheds {
-				res, err := RunCell(sc, name)
-				if err != nil {
-					return err
-				}
-				for i, pu := range res.PUNames {
-					t.AddRow(size, string(name), pu,
-						fmt.Sprintf("%.4f", res.IdleMean[i]), fmt.Sprintf("%.4f", res.IdleStd[i]))
-				}
+		cells := sizeSchedGrid(o, kind, 3000, scheds)
+		results, err := r.RunCells(cells)
+		if err != nil {
+			return err
+		}
+		for ci, res := range results {
+			for i, pu := range res.PUNames {
+				t.AddRow(cells[ci].Sc.Size, string(cells[ci].Name), pu,
+					fmt.Sprintf("%.4f", res.IdleMean[i]), fmt.Sprintf("%.4f", res.IdleStd[i]))
 			}
 		}
 		if err := t.Emit(o, fmt.Sprintf("fig7-%s", kind)); err != nil {

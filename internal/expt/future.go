@@ -24,9 +24,12 @@ func init() {
 
 // runCloud evaluates every scheduler under the paper's two envisioned
 // non-stationary scenarios: a QoS drop (master GPU at 40%) and a device
-// failure (machine B's GPU dies), both mid-run.
+// failure (machine B's GPU dies), both mid-run. The
+// (perturbation × scheduler) cells and their repetitions fan out over the
+// worker pool; rows emit in grid order.
 func runCloud(o Options) error {
 	size := o.size(MM, 32768)
+	r := o.runner()
 	perturbations := []string{
 		"stationary",
 		"QoS drop (master GPU to 40%)",
@@ -36,52 +39,79 @@ func runCloud(o Options) error {
 	// Pilot run to place the perturbation at ~40% of a typical makespan,
 	// whatever the scenario scale.
 	pilotSc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 7000}
-	pilot, err := RunCell(pilotSc, PLBHeC)
+	pilot, err := r.RunCell(pilotSc, PLBHeC)
 	if err != nil {
 		return err
 	}
 	perturbAt := 0.4 * pilot.Makespan.Mean
 
-	t := NewTable(fmt.Sprintf("cloud/fault scenarios — MM %d, 2 machines (perturbation at t=%.2fs)", size, perturbAt),
-		"Scenario", "Scheduler", "Time s", "Std", "Rebalances")
-	for pi, pertName := range perturbations {
+	type job struct {
+		pi   int
+		name SchedName
+	}
+	var jobs []job
+	for pi := range perturbations {
 		for _, name := range PaperSchedulers() {
-			var times []float64
-			var rebal float64
-			seeds := o.seeds()
-			for i := 0; i < seeds; i++ {
-				sc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 7000 + int64(i)}
-				app := MakeApp(sc.Kind, sc.Size)
-				clu := sc.Cluster(0)
-				sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
-				switch pi {
-				case 1:
-					gpu := clu.Machines[0].GPUs[0]
-					if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(0.40) }); err != nil {
-						return err
-					}
-				case 2:
-					gpu := clu.Machines[1].GPUs[0]
-					if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(0) }); err != nil {
-						return err
-					}
-				}
-				s, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
-				if err != nil {
+			jobs = append(jobs, job{pi, name})
+		}
+	}
+	sums := make([]stats.Summary, len(jobs))
+	rebals := make([]float64, len(jobs))
+	seeds := o.seeds()
+	err = r.forEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		times := make([]float64, seeds)
+		seedRebal := make([]float64, seeds)
+		if err := r.forEach(seeds, func(i int) error {
+			sc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 7000 + int64(i)}
+			app := MakeApp(sc.Kind, sc.Size)
+			clu := sc.Cluster(0)
+			sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+			sess.SetContext(r.Context())
+			switch j.pi {
+			case 1:
+				gpu := clu.Machines[0].GPUs[0]
+				if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(0.40) }); err != nil {
 					return err
 				}
-				rep, err := sess.Run(s)
-				if err != nil {
-					return fmt.Errorf("%s under %q: %w", name, pertName, err)
+			case 2:
+				gpu := clu.Machines[1].GPUs[0]
+				if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(0) }); err != nil {
+					return err
 				}
-				times = append(times, rep.Makespan)
-				rebal += rep.SchedulerStats["rebalances"] / float64(seeds)
 			}
-			sum := stats.Summarize(times)
-			t.AddRow(pertName, string(name),
-				fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std),
-				fmt.Sprintf("%.1f", rebal))
+			s, err := NewScheduler(j.name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
+			if err != nil {
+				return err
+			}
+			rep, err := sess.Run(s)
+			if err != nil {
+				return fmt.Errorf("%s under %q: %w", j.name, perturbations[j.pi], err)
+			}
+			times[i] = rep.Makespan
+			seedRebal[i] = rep.SchedulerStats["rebalances"]
+			return nil
+		}); err != nil {
+			return err
 		}
+		sums[ji] = stats.Summarize(times)
+		var rebal float64
+		for _, v := range seedRebal {
+			rebal += v / float64(seeds)
+		}
+		rebals[ji] = rebal
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := NewTable(fmt.Sprintf("cloud/fault scenarios — MM %d, 2 machines (perturbation at t=%.2fs)", size, perturbAt),
+		"Scenario", "Scheduler", "Time s", "Std", "Rebalances")
+	for ji, j := range jobs {
+		t.AddRow(perturbations[j.pi], string(j.name),
+			fmt.Sprintf("%.3f", sums[ji].Mean), fmt.Sprintf("%.3f", sums[ji].Std),
+			fmt.Sprintf("%.1f", rebals[ji]))
 	}
 	return t.Emit(o, "cloud")
 }
@@ -91,6 +121,7 @@ func runCloud(o Options) error {
 // and GTX 680.
 func runDualGPU(o Options) error {
 	size := o.size(MM, 65536)
+	r := o.runner()
 	t := NewTable(fmt.Sprintf("dual-GPU boards — MM %d, 4 machines", size),
 		"Configuration", "PUs", "Scheduler", "Time s", "Std")
 	for _, dual := range []bool{false, true} {
@@ -99,22 +130,32 @@ func runDualGPU(o Options) error {
 			label = "dual boards enabled"
 		}
 		for _, name := range []SchedName{PLBHeC, Greedy} {
-			var times []float64
-			pus := 0
 			seeds := o.seeds()
-			for i := 0; i < seeds; i++ {
+			times := make([]float64, seeds)
+			puCounts := make([]int, seeds)
+			err := r.forEach(seeds, func(i int) error {
 				app := MakeApp(MM, size)
 				clu := clusterWithDual(4, 8000+int64(i), dual)
-				pus = len(clu.PUs())
+				puCounts[i] = len(clu.PUs())
 				s, err := NewScheduler(name, InitialBlock(MM, size, 4))
 				if err != nil {
 					return err
 				}
-				rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(s)
+				sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+				sess.SetContext(r.Context())
+				rep, err := sess.Run(s)
 				if err != nil {
 					return err
 				}
-				times = append(times, rep.Makespan)
+				times[i] = rep.Makespan
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			pus := 0
+			if seeds > 0 {
+				pus = puCounts[seeds-1]
 			}
 			sum := stats.Summarize(times)
 			t.AddRow(label, pus, string(name),

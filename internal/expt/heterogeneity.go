@@ -46,41 +46,68 @@ func runHeterogeneity(o Options) error {
 		}},
 	}
 
+	r := o.runner()
+	scheds := []SchedName{Greedy, PLBHeC, HDSS}
+	type job struct {
+		ci   int
+		name SchedName
+	}
+	var jobs []job
+	for ci := range clusters {
+		for _, name := range scheds {
+			jobs = append(jobs, job{ci, name})
+		}
+	}
+	sums := make([]stats.Summary, len(jobs))
+	err := r.forEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		c := clusters[j.ci]
+		times := make([]float64, seeds)
+		if err := r.forEach(seeds, func(i int) error {
+			app := MakeApp(MM, size)
+			s, err := NewScheduler(j.name, InitialBlock(MM, size, 4))
+			if err != nil {
+				return err
+			}
+			sess := starpu.NewSimSession(c.mk(9800+int64(i)), app, starpu.SimConfig{})
+			sess.SetContext(r.Context())
+			rep, err := sess.Run(s)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", j.name, c.name, err)
+			}
+			times[i] = rep.Makespan
+			return nil
+		}); err != nil {
+			return err
+		}
+		sums[ji] = stats.Summarize(times)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
 	gains := map[string]float64{}
 	plbMean := map[string]float64{}
 	hdssMean := map[string]float64{}
-	for _, c := range clusters {
-		var greedyMean float64
-		for _, name := range []SchedName{Greedy, PLBHeC, HDSS} {
-			var times []float64
-			for i := 0; i < seeds; i++ {
-				app := MakeApp(MM, size)
-				s, err := NewScheduler(name, InitialBlock(MM, size, 4))
-				if err != nil {
-					return err
-				}
-				rep, err := starpu.NewSimSession(c.mk(9800+int64(i)), app, starpu.SimConfig{}).Run(s)
-				if err != nil {
-					return fmt.Errorf("%s on %s: %w", name, c.name, err)
-				}
-				times = append(times, rep.Makespan)
-			}
-			sum := stats.Summarize(times)
-			if name == Greedy {
-				greedyMean = sum.Mean
-			}
-			sp := greedyMean / sum.Mean
-			if name == PLBHeC {
-				gains[c.name] = sp
-				plbMean[c.name] = sum.Mean
-			}
-			if name == HDSS {
-				hdssMean[c.name] = sum.Mean
-			}
-			t.AddRow(c.name, string(name),
-				fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std),
-				fmt.Sprintf("%.2f", sp))
+	var greedyMean float64
+	for ji, j := range jobs {
+		c := clusters[j.ci]
+		sum := sums[ji]
+		if j.name == Greedy {
+			greedyMean = sum.Mean
 		}
+		sp := greedyMean / sum.Mean
+		if j.name == PLBHeC {
+			gains[c.name] = sp
+			plbMean[c.name] = sum.Mean
+		}
+		if j.name == HDSS {
+			hdssMean[c.name] = sum.Mean
+		}
+		t.AddRow(c.name, string(j.name),
+			fmt.Sprintf("%.3f", sum.Mean), fmt.Sprintf("%.3f", sum.Std),
+			fmt.Sprintf("%.2f", sp))
 	}
 	if err := t.Emit(o, "heterogeneity"); err != nil {
 		return err

@@ -39,44 +39,63 @@ func runNetwork(o Options) error {
 		fmt.Sprintf("interconnect sensitivity — MM %d, 4 machines", size),
 		"Fabric", "Scheduler", "Time s", "Std", "Speedup vs greedy")
 	seeds := o.seeds()
-	for _, f := range fabrics {
-		var greedyMean float64
-		type row struct {
-			name SchedName
-			sum  stats.Summary
-		}
-		var rows []row
+	r := o.runner()
+	type job struct {
+		fi   int
+		name SchedName
+	}
+	var jobs []job
+	for fi := range fabrics {
 		for _, name := range PaperSchedulers() {
-			var times []float64
-			for i := 0; i < seeds; i++ {
-				app := MakeApp(MM, size)
-				link := f.link
-				clu := cluster.TableI(cluster.Config{
-					Machines: 4, Seed: 9500 + int64(i),
-					NoiseSigma: cluster.DefaultNoiseSigma,
-					Fabric:     &link,
-				})
-				s, err := NewScheduler(name, InitialBlock(MM, size, 4))
-				if err != nil {
-					return err
-				}
-				rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(s)
-				if err != nil {
-					return fmt.Errorf("%s on %s: %w", name, f.name, err)
-				}
-				times = append(times, rep.Makespan)
-			}
-			sum := stats.Summarize(times)
-			if name == Greedy {
-				greedyMean = sum.Mean
-			}
-			rows = append(rows, row{name, sum})
+			jobs = append(jobs, job{fi, name})
 		}
-		for _, r := range rows {
-			t.AddRow(f.name, string(r.name),
-				fmt.Sprintf("%.3f", r.sum.Mean), fmt.Sprintf("%.3f", r.sum.Std),
-				fmt.Sprintf("%.2f", greedyMean/r.sum.Mean))
+	}
+	sums := make([]stats.Summary, len(jobs))
+	err := r.forEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		f := fabrics[j.fi]
+		times := make([]float64, seeds)
+		if err := r.forEach(seeds, func(i int) error {
+			app := MakeApp(MM, size)
+			link := f.link
+			clu := cluster.TableI(cluster.Config{
+				Machines: 4, Seed: 9500 + int64(i),
+				NoiseSigma: cluster.DefaultNoiseSigma,
+				Fabric:     &link,
+			})
+			s, err := NewScheduler(j.name, InitialBlock(MM, size, 4))
+			if err != nil {
+				return err
+			}
+			sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+			sess.SetContext(r.Context())
+			rep, err := sess.Run(s)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", j.name, f.name, err)
+			}
+			times[i] = rep.Makespan
+			return nil
+		}); err != nil {
+			return err
 		}
+		sums[ji] = stats.Summarize(times)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Greedy is last in PaperSchedulers, so resolve each fabric's baseline
+	// before emitting its rows.
+	greedyMean := make([]float64, len(fabrics))
+	for ji, j := range jobs {
+		if j.name == Greedy {
+			greedyMean[j.fi] = sums[ji].Mean
+		}
+	}
+	for ji, j := range jobs {
+		t.AddRow(fabrics[j.fi].name, string(j.name),
+			fmt.Sprintf("%.3f", sums[ji].Mean), fmt.Sprintf("%.3f", sums[ji].Std),
+			fmt.Sprintf("%.2f", greedyMean[j.fi]/sums[ji].Mean))
 	}
 	return t.Emit(o, "network")
 }

@@ -30,9 +30,10 @@ func runRelated(o Options) error {
 		fmt.Sprintf("related-work comparison — MM %d, 4 machines", size),
 		"Scheduler", "Origin", "Time s", "Std", "Speedup vs greedy")
 
+	r := o.runner()
 	// Profiling run for [17]: one PLB-HeC execution on the target cluster.
 	profSc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 9000}
-	profRes, err := RunCell(profSc, PLBHeC)
+	profRes, err := r.RunCell(profSc, PLBHeC)
 	if err != nil {
 		return err
 	}
@@ -54,20 +55,32 @@ func runRelated(o Options) error {
 		{"static-oracle", "ablation", func() starpu.Scheduler { return sched.NewStatic() }},
 	}
 
-	var greedyMean float64
 	results := make([]stats.Summary, len(entries))
-	for ei, e := range entries {
-		var times []float64
-		for i := 0; i < seeds; i++ {
+	err = r.forEach(len(entries), func(ei int) error {
+		e := entries[ei]
+		times := make([]float64, seeds)
+		if err := r.forEach(seeds, func(i int) error {
 			sc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 9100 + int64(i)}
 			app := MakeApp(sc.Kind, sc.Size)
-			rep, err := starpu.NewSimSession(sc.Cluster(0), app, starpu.SimConfig{}).Run(e.mk())
+			sess := starpu.NewSimSession(sc.Cluster(0), app, starpu.SimConfig{})
+			sess.SetContext(r.Context())
+			rep, err := sess.Run(e.mk())
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
-			times = append(times, rep.Makespan)
+			times[i] = rep.Makespan
+			return nil
+		}); err != nil {
+			return err
 		}
 		results[ei] = stats.Summarize(times)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var greedyMean float64
+	for ei, e := range entries {
 		if e.name == "greedy" {
 			greedyMean = results[ei].Mean
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"plbhec/internal/metrics"
@@ -36,16 +37,41 @@ type Result struct {
 	LastReport *starpu.Report
 }
 
-// RunCell executes one (scenario, scheduler) cell over all repetitions.
+// RunCell executes one (scenario, scheduler) cell over all repetitions,
+// strictly sequentially. It is the compatibility entry point; sweeps that
+// want parallelism and cancellation go through Runner.RunCell, which
+// produces bit-for-bit identical results.
 func RunCell(sc Scenario, name SchedName) (*Result, error) {
+	return NewRunner(context.Background(), 1).RunCell(sc, name)
+}
+
+// repOutcome is the per-seed slot RunCell's fan-out fills. Aggregation
+// reads the slots in seed order afterwards, which is what makes the
+// parallel runner's floating-point results identical to the sequential
+// one's.
+type repOutcome struct {
+	makespan   float64
+	idle       float64
+	dist       []float64
+	puIdle     []float64
+	schedStats map[string]float64
+	report     *starpu.Report
+}
+
+// RunCell executes one (scenario, scheduler) cell, fanning the repetitions
+// out over the runner's pool and aggregating them in seed order.
+func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 	if sc.Seeds <= 0 {
 		sc.Seeds = DefaultSeeds
 	}
-	res := &Result{Scenario: sc, Sched: name, SchedStats: map[string]float64{}}
-	var makespans, idles []float64
-	var dists, puIdles [][]float64
+	r.cellsActive.Add(1)
+	defer func() {
+		r.cellsActive.Add(-1)
+		r.cellsDone.Add(1)
+	}()
 
-	for i := 0; i < sc.Seeds; i++ {
+	reps := make([]repOutcome, sc.Seeds)
+	err := r.forEach(sc.Seeds, func(i int) error {
 		app := MakeApp(sc.Kind, sc.Size)
 		clu := sc.Cluster(i)
 		cfg := starpu.SimConfig{}
@@ -53,36 +79,52 @@ func RunCell(sc Scenario, name SchedName) (*Result, error) {
 			cfg.Overheads = starpu.NoOverheads()
 		}
 		sess := starpu.NewSimSession(clu, app, cfg)
+		sess.SetContext(r.ctx)
 		s, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := sess.Run(s)
 		if err != nil {
-			return nil, fmt.Errorf("expt: %s/%s seed %d: %w", sc.Label(), name, i, err)
+			return fmt.Errorf("expt: %s/%s seed %d: %w", sc.Label(), name, i, err)
 		}
-		res.LastReport = rep
-		if res.PUNames == nil {
-			res.PUNames = rep.PUNames
-		}
-		makespans = append(makespans, rep.Makespan)
-		idles = append(idles, metrics.MeanIdle(rep))
-		var d []float64
+		out := &reps[i]
+		out.report = rep
+		out.makespan = rep.Makespan
+		out.idle = metrics.MeanIdle(rep)
 		if name == Acosta {
-			d = metrics.FinalDistribution(rep)
+			out.dist = metrics.FinalDistribution(rep)
 		} else {
-			d = metrics.ModelingDistribution(rep)
-		}
-		if d != nil {
-			dists = append(dists, d)
+			out.dist = metrics.ModelingDistribution(rep)
 		}
 		usage := metrics.Usage(rep)
-		pi := make([]float64, len(usage))
+		out.puIdle = make([]float64, len(usage))
 		for j, u := range usage {
-			pi[j] = u.IdleFraction
+			out.puIdle[j] = u.IdleFraction
 		}
-		puIdles = append(puIdles, pi)
-		for k, v := range rep.SchedulerStats {
+		out.schedStats = rep.SchedulerStats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scenario: sc, Sched: name, SchedStats: map[string]float64{}}
+	var makespans, idles []float64
+	var dists, puIdles [][]float64
+	for i := range reps {
+		rep := &reps[i]
+		res.LastReport = rep.report
+		if res.PUNames == nil {
+			res.PUNames = rep.report.PUNames
+		}
+		makespans = append(makespans, rep.makespan)
+		idles = append(idles, rep.idle)
+		if rep.dist != nil {
+			dists = append(dists, rep.dist)
+		}
+		puIdles = append(puIdles, rep.puIdle)
+		for k, v := range rep.schedStats {
 			res.SchedStats[k] += v / float64(sc.Seeds)
 		}
 	}
@@ -94,7 +136,8 @@ func RunCell(sc Scenario, name SchedName) (*Result, error) {
 }
 
 // columnStats returns per-column mean and sample standard deviation of a
-// ragged-safe row-major table (rows must share a length; nil in → nil out).
+// ragged-safe row-major table (rows may differ in length; the column count
+// follows the first row; nil in → nil out).
 func columnStats(rows [][]float64) (mean, std []float64) {
 	if len(rows) == 0 {
 		return nil, nil

@@ -30,24 +30,26 @@ func init() {
 	})
 }
 
-// plbWith runs PLB-HeC with a tweak over several seeds on one scenario and
-// returns makespan summary plus mean rebalances.
-func plbWith(kind AppKind, size int64, machines, seeds int, baseSeed int64,
+// plbWith runs PLB-HeC with a tweak over several seeds on one scenario,
+// fanning the repetitions over the runner's pool, and returns the makespan
+// summary plus mean rebalances (reduced in seed order).
+func plbWith(r *Runner, kind AppKind, size int64, machines, seeds int, baseSeed int64,
 	noise float64, perturbAt, perturbFactor float64,
 	tweak func(*sched.PLBHeC)) (stats.Summary, float64, error) {
 
-	var times []float64
-	var rebal float64
-	for i := 0; i < seeds; i++ {
+	times := make([]float64, seeds)
+	seedRebal := make([]float64, seeds)
+	err := r.forEach(seeds, func(i int) error {
 		app := MakeApp(kind, size)
 		clu := cluster.TableI(cluster.Config{
 			Machines: machines, Seed: baseSeed + int64(i), NoiseSigma: noise,
 		})
 		sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+		sess.SetContext(r.Context())
 		if perturbAt > 0 {
 			gpu := clu.Machines[0].GPUs[0]
 			if err := sess.ScheduleAt(perturbAt, func() { gpu.SetSpeedFactor(perturbFactor) }); err != nil {
-				return stats.Summary{}, 0, err
+				return err
 			}
 		}
 		p := sched.NewPLBHeC(sched.Config{InitialBlockSize: InitialBlock(kind, size, machines)})
@@ -56,10 +58,18 @@ func plbWith(kind AppKind, size int64, machines, seeds int, baseSeed int64,
 		}
 		rep, err := sess.Run(p)
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return err
 		}
-		times = append(times, rep.Makespan)
-		rebal += rep.SchedulerStats["rebalances"] / float64(seeds)
+		times[i] = rep.Makespan
+		seedRebal[i] = rep.SchedulerStats["rebalances"]
+		return nil
+	})
+	if err != nil {
+		return stats.Summary{}, 0, err
+	}
+	var rebal float64
+	for _, v := range seedRebal {
+		rebal += v / float64(seeds)
 	}
 	return stats.Summarize(times), rebal, nil
 }
@@ -73,8 +83,9 @@ func plbWith(kind AppKind, size int64, machines, seeds int, baseSeed int64,
 // observation that its runs never actually triggered a rebalance.
 func runThreshold(o Options) error {
 	size := o.size(MM, 65536)
+	r := o.runner()
 	// Pilot for the perturbation time.
-	pilot, _, err := plbWith(MM, size, 4, 1, 9900, cluster.DefaultNoiseSigma, 0, 0, nil)
+	pilot, _, err := plbWith(r, MM, size, 4, 1, 9900, cluster.DefaultNoiseSigma, 0, 0, nil)
 	if err != nil {
 		return err
 	}
@@ -84,7 +95,7 @@ func runThreshold(o Options) error {
 		fmt.Sprintf("threshold sweep — MM %d, 4 machines, master GPU to 40%% at t=%.1fs", size, perturbAt),
 		"Threshold", "Time s", "Std", "Rebalances")
 	for _, thr := range []float64{0.02, 0.05, 0.10, 0.20, 0.50, 2.0, 0} {
-		sum, rebal, err := plbWith(MM, size, 4, o.seeds(), 9900,
+		sum, rebal, err := plbWith(r, MM, size, 4, o.seeds(), 9900,
 			cluster.DefaultNoiseSigma, perturbAt, 0.40,
 			func(p *sched.PLBHeC) { p.Threshold = thr })
 		if err != nil {
@@ -117,24 +128,32 @@ func runBlockSize(o Options) error {
 	t := NewTable(
 		fmt.Sprintf("initial block size sweep — MM %d, 4 machines (per-app default %.0f)", size, def),
 		"Block", "PLB-HeC s", "Std", "Greedy s", "Std")
+	r := o.runner()
 	for _, blk := range []float64{4, 8, 16, 32, 64, 128} {
-		var plbTimes, greedyTimes []float64
-		for i := 0; i < seeds; i++ {
+		plbTimes := make([]float64, seeds)
+		greedyTimes := make([]float64, seeds)
+		err := r.forEach(seeds, func(i int) error {
 			sc := Scenario{Kind: MM, Size: size, Machines: 4, Seeds: 1, BaseSeed: 9950 + int64(i)}
 			app := MakeApp(sc.Kind, sc.Size)
-			rep, err := starpu.NewSimSession(sc.Cluster(0), app, starpu.SimConfig{}).
-				Run(sched.NewPLBHeC(sched.Config{InitialBlockSize: blk}))
+			sess := starpu.NewSimSession(sc.Cluster(0), app, starpu.SimConfig{})
+			sess.SetContext(r.Context())
+			rep, err := sess.Run(sched.NewPLBHeC(sched.Config{InitialBlockSize: blk}))
 			if err != nil {
 				return err
 			}
-			plbTimes = append(plbTimes, rep.Makespan)
+			plbTimes[i] = rep.Makespan
 			app2 := MakeApp(sc.Kind, sc.Size)
-			rep2, err := starpu.NewSimSession(sc.Cluster(0), app2, starpu.SimConfig{}).
-				Run(sched.NewGreedy(sched.Config{InitialBlockSize: blk}))
+			sess2 := starpu.NewSimSession(sc.Cluster(0), app2, starpu.SimConfig{})
+			sess2.SetContext(r.Context())
+			rep2, err := sess2.Run(sched.NewGreedy(sched.Config{InitialBlockSize: blk}))
 			if err != nil {
 				return err
 			}
-			greedyTimes = append(greedyTimes, rep2.Makespan)
+			greedyTimes[i] = rep2.Makespan
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		ps, gs := stats.Summarize(plbTimes), stats.Summarize(greedyTimes)
 		t.AddRow(fmt.Sprintf("%.0f", blk),
@@ -152,8 +171,9 @@ func runNoise(o Options) error {
 	t := NewTable(
 		fmt.Sprintf("measurement-noise sweep — MM %d, 4 machines, PLB-HeC", size),
 		"Noise σ", "Time s", "Std", "Rebalances")
+	r := o.runner()
 	for _, sigma := range []float64{0, 0.005, 0.015, 0.05, 0.10} {
-		sum, rebal, err := plbWith(MM, size, 4, o.seeds(), 9990, sigma, 0, 0, nil)
+		sum, rebal, err := plbWith(r, MM, size, 4, o.seeds(), 9990, sigma, 0, 0, nil)
 		if err != nil {
 			return err
 		}

@@ -83,7 +83,8 @@ func runAblation(o Options) error {
 
 	t := NewTable(fmt.Sprintf("PLB-HeC ablations — MM %d, 4 machines", size),
 		"Variant", "Time s", "Std", "vs full")
-	full, err := RunCell(base, PLBHeC)
+	pool := o.runner()
+	full, err := pool.RunCell(base, PLBHeC)
 	if err != nil {
 		return err
 	}
@@ -96,22 +97,22 @@ func runAblation(o Options) error {
 
 	noOv := base
 	noOv.NoOverheads = true
-	if r, err := RunCell(noOv, PLBHeC); err == nil {
+	if r, err := pool.RunCell(noOv, PLBHeC); err == nil {
 		add("no charged fit/solve overheads", r)
 	} else {
 		return err
 	}
-	if r, err := runPLBVariant(base, func(p *plbKnobs) { p.bisection = true }); err == nil {
+	if r, err := runPLBVariant(pool, base, func(p *plbKnobs) { p.bisection = true }); err == nil {
 		add("bisection fallback instead of IPM", r)
 	} else {
 		return err
 	}
-	if r, err := runPLBVariant(base, func(p *plbKnobs) { p.noRebalance = true }); err == nil {
+	if r, err := runPLBVariant(pool, base, func(p *plbKnobs) { p.noRebalance = true }); err == nil {
 		add("rebalancing disabled", r)
 	} else {
 		return err
 	}
-	if r, err := runPLBVariant(base, func(p *plbKnobs) { p.oneStep = true }); err == nil {
+	if r, err := runPLBVariant(pool, base, func(p *plbKnobs) { p.oneStep = true }); err == nil {
 		add("single execution step (one block per unit)", r)
 	} else {
 		return err

@@ -17,18 +17,20 @@ type plbKnobs struct {
 	oneStep     bool // hand each unit its whole share as one block
 }
 
-// runPLBVariant runs a modified PLB-HeC over the scenario's repetitions.
-func runPLBVariant(sc Scenario, tweak func(*plbKnobs)) (*Result, error) {
+// runPLBVariant runs a modified PLB-HeC over the scenario's repetitions,
+// fanning them over the runner's pool and reducing in seed order.
+func runPLBVariant(r *Runner, sc Scenario, tweak func(*plbKnobs)) (*Result, error) {
 	var knobs plbKnobs
 	tweak(&knobs)
 	if sc.Seeds <= 0 {
 		sc.Seeds = DefaultSeeds
 	}
 	res := &Result{Scenario: sc, Sched: PLBHeC, SchedStats: map[string]float64{}}
-	var makespans, idles []float64
-	for i := 0; i < sc.Seeds; i++ {
+	reps := make([]*starpu.Report, sc.Seeds)
+	err := r.forEach(sc.Seeds, func(i int) error {
 		app := MakeApp(sc.Kind, sc.Size)
 		sess := starpu.NewSimSession(sc.Cluster(i), app, starpu.SimConfig{})
+		sess.SetContext(r.Context())
 		p := sched.NewPLBHeC(sched.Config{InitialBlockSize: InitialBlock(sc.Kind, sc.Size, sc.Machines)})
 		if knobs.bisection {
 			p.Solver = ipm.Options{DisableIPM: true}
@@ -41,8 +43,16 @@ func runPLBVariant(sc Scenario, tweak func(*plbKnobs)) (*Result, error) {
 		}
 		rep, err := sess.Run(p)
 		if err != nil {
-			return nil, fmt.Errorf("expt: variant %+v seed %d: %w", knobs, i, err)
+			return fmt.Errorf("expt: variant %+v seed %d: %w", knobs, i, err)
 		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var makespans, idles []float64
+	for _, rep := range reps {
 		res.LastReport = rep
 		if res.PUNames == nil {
 			res.PUNames = rep.PUNames

@@ -42,12 +42,26 @@ var (
 	basisExp  = Basis{"e^x", func(x, s float64) float64 { return math.Exp(x / s) }}
 	basisXExp = Basis{"x·e^x", func(x, s float64) float64 { return x * math.Exp(x/s) }}
 	basisXLog = Basis{"x·ln x", func(x, s float64) float64 { return x * math.Log(clampPos(x)) }}
-	basisInv  = Basis{"1/x", func(x, s float64) float64 { return 1 / clampPos(x) }}
+	// The 1/x floor is relative to the fitting scale s: an absolute 1e-9
+	// floor put a 1e9 entry in the design matrix at x=0, wrecking the
+	// normal-equations conditioning for the {1, x, 1/x} candidate set.
+	// Clamping at s·1e-3 bounds the basis value by 1000/s, the same order
+	// as the other bases over the sampled range.
+	basisInv = Basis{"1/x", func(x, s float64) float64 { return 1 / clampPosTo(x, s*1e-3) }}
 )
 
 func clampPos(x float64) float64 {
-	if x < 1e-9 {
-		return 1e-9
+	return clampPosTo(x, 1e-9)
+}
+
+// clampPosTo floors x at floor (itself floored at 1e-9 so a zero scale
+// cannot divide by zero).
+func clampPosTo(x, floor float64) float64 {
+	if floor < 1e-9 {
+		floor = 1e-9
+	}
+	if x < floor {
+		return floor
 	}
 	return x
 }

@@ -208,3 +208,42 @@ func TestFitLinearProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: a sample at x=0 must not poison the {1, x, 1/x} candidate.
+// The old absolute 1e-9 clamp evaluated 1/x to 1e9 at x=0, wrecking the
+// normal-equations conditioning; the floor is now relative to the fitting
+// scale, so the basis value stays the same order as the other columns.
+func TestInvBasisClampAtZero(t *testing.T) {
+	const s = 64.0
+	if v := basisInv.Eval(0, s); v > 1/(s*1e-3)+1e-9 {
+		t.Fatalf("basisInv.Eval(0, %g) = %g, want ≤ %g (scale-relative clamp)", s, v, 1/(s*1e-3))
+	}
+
+	// Fit the inv candidate directly on a line sampled from x=0.
+	xs := []float64{0, 4, 8, 16, 32, 64}
+	ys := apply(xs, func(x float64) float64 { return 2 + 3*x })
+	m, err := fitBasis([]Basis{basisOne, basisX, basisInv}, xs, ys, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Coef {
+		if math.Abs(c) > 1e6 {
+			t.Errorf("coef[%d] = %g, conditioning blown", i, c)
+		}
+	}
+	if got := m.Eval(0); math.Abs(got-2) > 0.5 {
+		t.Errorf("Eval(0) = %g, want ≈2", got)
+	}
+
+	// And through the public selector, which tries every candidate set.
+	m, err = FitSamples(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Eval(0); math.Abs(got-2) > 0.2 {
+		t.Errorf("selected model Eval(0) = %g, want ≈2", got)
+	}
+	if got := m.Eval(48); math.Abs(got-(2+3*48)) > 1 {
+		t.Errorf("selected model Eval(48) = %g, want ≈%g", got, 2+3*48.0)
+	}
+}

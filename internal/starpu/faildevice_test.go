@@ -1,0 +1,63 @@
+package starpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+)
+
+// TestFailedDeviceReturnsError covers the former crash path: a block
+// launched on a failed (speed factor 0) device must surface as a wrapped
+// ErrFailedDevice from Session.Run, not a process-killing panic.
+func TestFailedDeviceReturnsError(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 512})
+	sess := NewSimSession(clu, app, SimConfig{})
+	// Kill the master GPU before any work is submitted; the fixed
+	// scheduler assigns to every PU regardless.
+	clu.Machines[0].GPUs[0].SetSpeedFactor(0)
+
+	rep, err := sess.Run(&fixedScheduler{block: 64})
+	if err == nil {
+		t.Fatalf("Run succeeded (%+v), want failed-device error", rep)
+	}
+	if !errors.Is(err, ErrFailedDevice) {
+		t.Errorf("error %v does not wrap ErrFailedDevice", err)
+	}
+	if !strings.Contains(err.Error(), "launched on") {
+		t.Errorf("error %v missing context", err)
+	}
+}
+
+// TestRunCancelled covers context cancellation through Session.Run: a
+// pre-cancelled context aborts before any work, and a mid-run cancellation
+// aborts at the next task completion with a wrapped ctx error.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	s := newTestSession(1000)
+	s.SetContext(ctx)
+	if _, err := s.Run(&fixedScheduler{block: 37}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled run error = %v, want context.Canceled", err)
+	}
+
+	// Mid-run: cancel from a simulated event; the run must stop early.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	s2 := newTestSession(100000)
+	s2.SetContext(ctx2)
+	if err := s2.ScheduleAt(0.001, cancel2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s2.Run(&fixedScheduler{block: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-run cancellation error = %v, want context.Canceled", err)
+	}
+	if s2.Remaining() == 0 {
+		t.Error("run processed everything despite cancellation")
+	}
+}

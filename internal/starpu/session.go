@@ -1,6 +1,8 @@
 package starpu
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"plbhec/internal/cluster"
@@ -30,6 +32,11 @@ type Session struct {
 	masterFree float64
 	chargeOn   bool // whether ChargeFit/ChargeSolve affect the clock
 
+	// ctx, when set, cancels the run: cancellation is observed at every
+	// task completion (bounded latency on both engines) and surfaces as a
+	// wrapped ctx.Err() from Run. Nil means never cancelled.
+	ctx context.Context
+
 	records       []TaskRecord
 	distributions []Distribution
 	sched         Scheduler
@@ -41,6 +48,12 @@ type Session struct {
 
 // PUs returns the cluster's processing units in stable order.
 func (s *Session) PUs() []*cluster.PU { return s.pus }
+
+// SetContext attaches a cancellation context to the session. Call it
+// before Run; once ctx is cancelled the run aborts at the next task
+// completion and Run returns an error wrapping ctx.Err(). A nil context
+// (the default) never cancels.
+func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
 
 // AttachTelemetry wires a live-telemetry hub into the session. Call it
 // before Run; the engines and schedulers then stream task lifecycle,
@@ -176,6 +189,16 @@ func (s *Session) fail(err error) {
 	}
 }
 
+// checkCtx folds a pending cancellation into the violation error.
+func (s *Session) checkCtx() {
+	if s.ctx == nil || s.violation != nil {
+		return
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.fail(fmt.Errorf("starpu: run cancelled: %w", err))
+	}
+}
+
 // onComplete is invoked by the engine, serialized, for every finished block.
 func (s *Session) onComplete(rec TaskRecord) {
 	s.inflight--
@@ -187,6 +210,7 @@ func (s *Session) onComplete(rec TaskRecord) {
 			ExecStart: rec.ExecStart, PU: rec.PU, Seq: rec.Seq, Units: rec.Units,
 		})
 	}
+	s.checkCtx()
 	if s.violation != nil {
 		return
 	}
@@ -202,6 +226,10 @@ func (s *Session) onComplete(rec TaskRecord) {
 func (s *Session) Run(sched Scheduler) (*Report, error) {
 	if s.sched != nil {
 		return nil, runtimeError("session already used; create a new one per run")
+	}
+	s.checkCtx()
+	if s.violation != nil {
+		return nil, s.violation
 	}
 	s.sched = sched
 	sched.Start(s)

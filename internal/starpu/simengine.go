@@ -1,6 +1,8 @@
 package starpu
 
 import (
+	"fmt"
+
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
 	"plbhec/internal/sim"
@@ -122,7 +124,11 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 	if exec != exec || exec < 0 || exec > 1e18 {
 		// A failed (speed factor 0) device would never complete; schedulers
 		// must stop assigning to failed devices rather than hang the run.
-		panic("starpu: block launched on failed or broken device " + pu.Name())
+		// The block's completion event is never scheduled, so the queue
+		// drains and Run returns the violation.
+		e.session.fail(fmt.Errorf("starpu: block %d (%d units) launched on %s: %w",
+			seq, units, pu.Name(), ErrFailedDevice))
+		return
 	}
 	start, end := e.puRes[pu.ID].AcquireAfter(t, exec, nil)
 	rec.ExecStart, rec.ExecEnd = start, end

@@ -17,10 +17,17 @@
 package starpu
 
 import (
+	"errors"
 	"fmt"
 
 	"plbhec/internal/cluster"
 )
+
+// ErrFailedDevice reports a block assigned to a processing unit whose
+// device cannot execute it (speed factor 0 after a failure, or a broken
+// cost model). Session.Run wraps it into the run error so one bad
+// scheduler decision fails its cell instead of the whole process.
+var ErrFailedDevice = errors.New("failed or broken device")
 
 // TaskRecord is the measured history of one executed block. All times are
 // in engine seconds (virtual for the simulator, wall-clock for the live

@@ -37,11 +37,12 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(ss / float64(len(xs)-1))
 }
 
-// MinMax returns the smallest and largest values of xs. It panics on an
-// empty slice.
+// MinMax returns the smallest and largest values of xs, or (0, 0) for an
+// empty slice — a cell whose scheduler yields no samples degrades to a zero
+// summary instead of crashing the sweep.
 func MinMax(xs []float64) (min, max float64) {
 	if len(xs) == 0 {
-		panic("stats: MinMax of empty slice")
+		return 0, 0
 	}
 	min, max = xs[0], xs[0]
 	for _, x := range xs[1:] {
@@ -55,15 +56,16 @@ func MinMax(xs []float64) (min, max float64) {
 	return min, max
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
-// interpolation between order statistics. It panics on an empty slice.
+// Quantile returns the q-quantile of xs using linear interpolation between
+// order statistics. q is clamped to [0, 1]; an empty slice yields 0 (see
+// MinMax).
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Quantile of empty slice")
+		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	if q <= 0 {
+	if !(q > 0) { // q ≤ 0, or NaN
 		return s[0]
 	}
 	if q >= 1 {

@@ -25,12 +25,32 @@ func TestMinMax(t *testing.T) {
 	if min != -1 || max != 7 {
 		t.Errorf("MinMax = %g,%g", min, max)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on empty slice")
-		}
-	}()
-	MinMax(nil)
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %g,%g, want zeros", min, max)
+	}
+}
+
+// Empty distributions must degrade to zero values, not crash the sweep: a
+// cell whose scheduler records no samples still aggregates.
+func TestEmptyInputsDegrade(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %g, want 0", got)
+	}
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 || s.Median != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+	// q is clamped outside [0,1] (and on NaN) instead of indexing wild.
+	xs := []float64{2, 1, 3}
+	if got := Quantile(xs, -5); got != 1 {
+		t.Errorf("Quantile(q=-5) = %g, want min", got)
+	}
+	if got := Quantile(xs, 7); got != 3 {
+		t.Errorf("Quantile(q=7) = %g, want max", got)
+	}
+	if got := Quantile(xs, math.NaN()); got != 1 {
+		t.Errorf("Quantile(q=NaN) = %g, want min", got)
+	}
 }
 
 func TestQuantile(t *testing.T) {

