@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro quick examples clean
+.PHONY: all build test race bench bench-json repro quick examples clean
 
 all: build test
 
@@ -19,6 +19,12 @@ race:
 # One testing.B benchmark per paper table/figure.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable snapshot of the root suite: writes BENCH_<pr>.json, the
+# next point of the performance trajectory (override with PR=<n>, see
+# docs/PERFORMANCE.md).
+bench-json:
+	scripts/bench.sh $(PR)
 
 # Regenerate every evaluation artifact at paper scale (10 seeds) with CSVs.
 repro:

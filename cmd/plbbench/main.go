@@ -10,10 +10,15 @@
 //	plbbench -csv results     # also emit CSV files under results/
 //	plbbench -jobs 4          # fan cells and repetitions over 4 workers
 //	plbbench -list            # list experiments
+//	plbbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Cells and repetitions fan out over -jobs workers (default: all CPUs);
 // results are identical to a sequential run at any -jobs value. ^C cancels
 // in-flight simulations and exits with the cancellation error.
+//
+// The profiling flags (-cpuprofile, -memprofile, -trace) write standard
+// pprof / runtime-trace files covering the whole run; see docs/PERFORMANCE.md
+// for reading them.
 package main
 
 import (
@@ -23,21 +28,30 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"syscall"
 
 	"plbhec/internal/expt"
 	"plbhec/internal/telemetry"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so deferred profile/trace writers flush before the
+// process exits with a status code.
+func run() int {
 	var (
-		exp    = flag.String("exp", "", "experiment ID to run (default: all); see -list")
-		csvDir = flag.String("csv", "", "directory for CSV output (empty: none)")
-		seeds  = flag.Int("seeds", 0, "repetitions per cell (0: the paper's 10)")
-		quick  = flag.Bool("quick", false, "reduced input sizes and repetitions")
-		jobs   = flag.Int("jobs", runtime.NumCPU(), "worker-pool size for cells and repetitions (1: sequential)")
-		listen = flag.String("listen", "", "serve live progress gauges on this address (e.g. :9090/metrics)")
-		list   = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "", "experiment ID to run (default: all); see -list")
+		csvDir  = flag.String("csv", "", "directory for CSV output (empty: none)")
+		seeds   = flag.Int("seeds", 0, "repetitions per cell (0: the paper's 10)")
+		quick   = flag.Bool("quick", false, "reduced input sizes and repetitions")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "worker-pool size for cells and repetitions (1: sequential)")
+		listen  = flag.String("listen", "", "serve live progress gauges on this address (e.g. :9090/metrics)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceF  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -45,7 +59,48 @@ func main() {
 		for _, e := range expt.All() {
 			fmt.Printf("%-10s %-24s %s\n", e.ID, e.Paper, e.Desc)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "plbbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbbench: -trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "plbbench: -trace: %v\n", err)
+			return 1
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plbbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "plbbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,7 +115,7 @@ func main() {
 		srv, addr, _, err := telemetry.ListenAndServe(*listen, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbbench: -listen: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "plbbench: serving progress metrics on http://%s/metrics\n", addr)
@@ -74,10 +129,11 @@ func main() {
 		err = e.Run(opts)
 	} else {
 		fmt.Fprintf(os.Stderr, "plbbench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plbbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -10,6 +10,7 @@
 //	plbsim -app mm -size 65536 -sched all          # compare every policy
 //	plbsim -app mm -sched plb-hec -perfetto out.json   # ui.perfetto.dev trace
 //	plbsim -app mm -sched plb-hec -listen :9090        # live /metrics endpoint
+//	plbsim -app mm -size 65536 -cpuprofile cpu.pprof   # profile the run
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -31,7 +33,11 @@ import (
 	"plbhec/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so the deferred CPU-profile stop flushes before the
+// process exits with a status code.
+func run() int {
 	var (
 		app      = flag.String("app", "mm", "application: mm | grn | bs")
 		size     = flag.Int64("size", 16384, "input size (matrix order, genes, options)")
@@ -45,14 +51,28 @@ func main() {
 		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace_event JSON trace to this file (open in ui.perfetto.dev)")
 		listen   = flag.String("listen", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090); keeps serving after the run until interrupted")
 		detail   = flag.Bool("breakdown", false, "print per-unit time breakdown (exec/transfer/queue/idle)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	kind := expt.AppKind(*app)
 
 	if *schedStr == "all" {
-		compareAll(kind, *size, *machines, *seed, *block, *dual)
-		return
+		return compareAll(kind, *size, *machines, *seed, *block, *dual)
 	}
 	a := expt.MakeApp(kind, *size)
 	clu := cluster.TableI(cluster.Config{
@@ -66,7 +86,7 @@ func main() {
 	s, err := expt.NewScheduler(expt.SchedName(*schedStr), b)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	sess := starpu.NewSimSession(clu, a, starpu.SimConfig{})
 
@@ -97,7 +117,7 @@ func main() {
 		srv, srvAddr, srvErr, err = telemetry.ListenAndServe(*listen, tel.Registry())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("serving /metrics and /healthz on http://%s\n", srvAddr)
 	}
@@ -105,7 +125,7 @@ func main() {
 	rep, err := sess.Run(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("app=%s scheduler=%s machines=%d seed=%d initialBlock=%.0f\n",
@@ -143,12 +163,12 @@ func main() {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := trace.WriteJSONL(f, trace.FromReport(rep)); err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\ntrace written to %s (%d records)\n", *traceOut, len(rep.Records))
 	}
@@ -156,7 +176,7 @@ func main() {
 		f, err := os.Create(*perfetto)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		werr := perf.Write(f)
 		if cerr := f.Close(); werr == nil {
@@ -164,7 +184,7 @@ func main() {
 		}
 		if werr != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", werr)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nperfetto trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
 	}
@@ -183,20 +203,22 @@ func main() {
 			defer cancel()
 			if err := srv.Shutdown(ctx); err != nil {
 				fmt.Fprintf(os.Stderr, "plbsim: shutdown: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		case err := <-srvErr:
 			// The endpoint died on its own — no longer a silent failure.
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "plbsim: metrics server: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 // compareAll runs every policy on the same scenario and prints a ranking.
-func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block float64, dual bool) {
+// It returns the process exit code.
+func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block float64, dual bool) int {
 	b := block
 	if b <= 0 {
 		b = expt.InitialBlock(kind, size, machines)
@@ -214,14 +236,15 @@ func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block f
 		s, err := expt.NewScheduler(name, b)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rep, err := starpu.NewSimSession(clu, a, starpu.SimConfig{}).Run(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%-20s %12.3f %12.1f %8d\n",
 			name, rep.Makespan, 100*metrics.MeanIdle(rep), len(rep.Records))
 	}
+	return 0
 }

@@ -1,0 +1,147 @@
+package plbhec_test
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/expt"
+	"plbhec/internal/starpu"
+)
+
+// goldenQuickSweepHash pins the full TaskRecord stream of the golden quick
+// sweep (every field of every record, in completion order, across every
+// cell) on amd64. It is the determinism contract of the simulator: any
+// change to the event kernel, the resource model, or the schedulers that
+// alters even one bit of one float shows up here. Deliberate numeric
+// changes must update this constant AND document the observed metric deltas
+// in EXPERIMENTS.md (as PR 2 did for 2.34x→2.33x).
+const goldenQuickSweepHash = "45f12452ff6e0eff"
+
+// goldenCells is a small but representative slice of the quick sweep: every
+// application kind, mixed sizes, the paper's scheduler plus one profile-based
+// and one work-stealing baseline.
+func goldenCells() []struct {
+	Kind  expt.AppKind
+	Size  int64
+	Sched expt.SchedName
+} {
+	return []struct {
+		Kind  expt.AppKind
+		Size  int64
+		Sched expt.SchedName
+	}{
+		{expt.MM, 4096, expt.PLBHeC},
+		{expt.MM, 4096, expt.Greedy},
+		{expt.BS, 10000, expt.PLBHeC},
+		{expt.BS, 10000, expt.HDSS},
+		{expt.GRN, 20000, expt.PLBHeC},
+	}
+}
+
+// hashRecords folds every field of every TaskRecord into an FNV-1a hash.
+// Floats are hashed by their IEEE-754 bit patterns, so the comparison is
+// bit-exact, not epsilon-based.
+func hashRecords(h interface{ Write([]byte) (int, error) }, recs []starpu.TaskRecord) {
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	f := func(v float64) { word(math.Float64bits(v)) }
+	for _, r := range recs {
+		word(uint64(r.Seq))
+		word(uint64(r.PU))
+		word(uint64(r.Lo))
+		word(uint64(r.Hi))
+		word(uint64(r.Units))
+		f(r.SubmitTime)
+		f(r.TransferStart)
+		f(r.TransferEnd)
+		f(r.ExecStart)
+		f(r.ExecEnd)
+	}
+}
+
+// goldenHash runs every golden cell at seeds 0 and 1 strictly sequentially
+// and returns the hash of the concatenated TaskRecord streams.
+func goldenHash(t *testing.T) string {
+	t.Helper()
+	h := fnv.New64a()
+	for _, c := range goldenCells() {
+		for seed := int64(0); seed < 2; seed++ {
+			app := expt.MakeApp(c.Kind, c.Size)
+			clu := cluster.TableI(cluster.Config{
+				Machines: 4, Seed: seed, NoiseSigma: cluster.DefaultNoiseSigma,
+			})
+			s, err := expt.NewScheduler(c.Sched, expt.InitialBlock(c.Kind, c.Size, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(s)
+			if err != nil {
+				t.Fatalf("%s-%d/%s seed %d: %v", c.Kind, c.Size, c.Sched, seed, err)
+			}
+			hashRecords(h, rep.Records)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestGoldenQuickSweepDeterminism asserts the quick sweep's TaskRecord
+// stream is bit-identical to the committed golden hash. Pure-Go float64
+// arithmetic is deterministic per architecture, but the compiler may fuse
+// multiply-adds on some platforms (e.g. arm64), so the pinned constant is
+// asserted on amd64 only; other platforms still check run-to-run stability.
+func TestGoldenQuickSweepDeterminism(t *testing.T) {
+	got := goldenHash(t)
+	if again := goldenHash(t); again != got {
+		t.Fatalf("quick sweep not deterministic run-to-run: %s then %s", got, again)
+	}
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden constant pinned on amd64; %s computed %s", runtime.GOARCH, got)
+	}
+	if got != goldenQuickSweepHash {
+		t.Fatalf("quick-sweep TaskRecord stream changed: hash %s, golden %s\n"+
+			"If this change is intentional, update goldenQuickSweepHash and document the\n"+
+			"observed metric deltas in EXPERIMENTS.md.", got, goldenQuickSweepHash)
+	}
+}
+
+// TestGoldenParallelInvariance asserts the runner produces bit-identical
+// record streams at -jobs 1 and -jobs 4: parallel fan-out must never change
+// results, only wall-clock time.
+func TestGoldenParallelInvariance(t *testing.T) {
+	hashAt := func(jobs int) string {
+		h := fnv.New64a()
+		r := expt.NewRunner(context.Background(), jobs)
+		for _, c := range goldenCells() {
+			sc := expt.Scenario{Kind: c.Kind, Size: c.Size, Machines: 4, Seeds: 3}
+			res, err := r.RunCell(sc, c.Sched)
+			if err != nil {
+				t.Fatalf("jobs=%d %s-%d/%s: %v", jobs, c.Kind, c.Size, c.Sched, err)
+			}
+			hashRecords(h, res.LastReport.Records)
+			var buf [8]byte
+			for _, v := range []float64{res.Makespan.Mean, res.Makespan.Std, res.MeanIdle.Mean} {
+				b := math.Float64bits(v)
+				for i := 0; i < 8; i++ {
+					buf[i] = byte(b >> (8 * i))
+				}
+				h.Write(buf[:])
+			}
+		}
+		return fmt.Sprintf("%016x", h.Sum64())
+	}
+	h1 := hashAt(1)
+	h4 := hashAt(4)
+	if h1 != h4 {
+		t.Fatalf("record stream differs across -jobs: jobs=1 %s, jobs=4 %s", h1, h4)
+	}
+}

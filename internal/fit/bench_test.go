@@ -30,3 +30,48 @@ func BenchmarkFitLinear(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWarmRefit measures the incremental path the scheduler actually
+// exercises: a per-PU Fitter refitting an unchanged (already accumulated)
+// stream. Steady state is zero allocations per round.
+func BenchmarkWarmRefit(b *testing.B) {
+	var xs, ys []float64
+	for x := 8.0; x <= 1024; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 0.002*x+0.3*math.Log(x))
+	}
+	f := NewFitter()
+	if _, err := f.Fit(xs, ys, 65536); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Fit(xs, ys, 65536); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalGrow measures refit cost as the stream grows one
+// sample per round, the exact profiling-round pattern: each round folds one
+// rank-1 update per candidate set and re-solves the small Gram systems.
+func BenchmarkIncrementalGrow(b *testing.B) {
+	const rounds = 16
+	xs := make([]float64, rounds)
+	ys := make([]float64, rounds)
+	for i := range xs {
+		x := float64(i+1) * 64
+		xs[i] = x
+		ys[i] = 0.002*x + 0.3*math.Log(x)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewFitter()
+		for n := 3; n <= rounds; n++ {
+			if _, err := f.Fit(xs[:n], ys[:n], 65536); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"plbhec/internal/linalg"
@@ -25,29 +24,33 @@ var ErrDegenerate = errors.New("fit: degenerate sample set")
 
 // Basis is one term of Eq. 1. Eval receives the raw block size x and the
 // fitting scale s (the largest sampled x); exponential bases use x/s so
-// they stay bounded over the sampled range.
+// they stay bounded over the sampled range. ScaleFree marks bases whose
+// Eval ignores s entirely: the incremental Fitter can keep normal-equation
+// accumulations for all-scale-free candidate sets across refits even as the
+// fitting scale moves, while scale-dependent sets must rebuild.
 type Basis struct {
-	Name string
-	Eval func(x, s float64) float64
+	Name      string
+	Eval      func(x, s float64) float64
+	ScaleFree bool
 }
 
 // The paper's basis set. Log bases clamp x to a tiny positive value so that
 // evaluation at x=0 stays finite (a zero-size block takes ~0 time anyway).
 var (
-	basisOne  = Basis{"1", func(x, s float64) float64 { return 1 }}
-	basisLog  = Basis{"ln x", func(x, s float64) float64 { return math.Log(clampPos(x)) }}
-	basisX    = Basis{"x", func(x, s float64) float64 { return x }}
-	basisX2   = Basis{"x^2", func(x, s float64) float64 { return x * x }}
-	basisX3   = Basis{"x^3", func(x, s float64) float64 { return x * x * x }}
-	basisExp  = Basis{"e^x", func(x, s float64) float64 { return math.Exp(x / s) }}
-	basisXExp = Basis{"x·e^x", func(x, s float64) float64 { return x * math.Exp(x/s) }}
-	basisXLog = Basis{"x·ln x", func(x, s float64) float64 { return x * math.Log(clampPos(x)) }}
+	basisOne  = Basis{"1", func(x, s float64) float64 { return 1 }, true}
+	basisLog  = Basis{"ln x", func(x, s float64) float64 { return math.Log(clampPos(x)) }, true}
+	basisX    = Basis{"x", func(x, s float64) float64 { return x }, true}
+	basisX2   = Basis{"x^2", func(x, s float64) float64 { return x * x }, true}
+	basisX3   = Basis{"x^3", func(x, s float64) float64 { return x * x * x }, true}
+	basisExp  = Basis{"e^x", func(x, s float64) float64 { return math.Exp(x / s) }, false}
+	basisXExp = Basis{"x·e^x", func(x, s float64) float64 { return x * math.Exp(x/s) }, false}
+	basisXLog = Basis{"x·ln x", func(x, s float64) float64 { return x * math.Log(clampPos(x)) }, true}
 	// The 1/x floor is relative to the fitting scale s: an absolute 1e-9
 	// floor put a 1e9 entry in the design matrix at x=0, wrecking the
 	// normal-equations conditioning for the {1, x, 1/x} candidate set.
 	// Clamping at s·1e-3 bounds the basis value by 1000/s, the same order
 	// as the other bases over the sampled range.
-	basisInv = Basis{"1/x", func(x, s float64) float64 { return 1 / clampPosTo(x, s*1e-3) }}
+	basisInv = Basis{"1/x", func(x, s float64) float64 { return 1 / clampPosTo(x, s*1e-3) }, false}
 )
 
 func clampPos(x float64) float64 {
@@ -156,66 +159,14 @@ func FitSamples(xs, ys []float64) (Model, error) {
 // the sample range would tell the solver a slow device gets *faster* on
 // huge blocks — so candidates that misbehave anywhere in the usage range
 // are heavily penalized.
+//
+// It delegates to a fresh incremental Fitter so the one-shot and
+// incremental paths share one implementation: the candidate sets, the
+// normal-equations solve, the parsimony/monotonicity scoring, and the
+// two-point fallback are all defined in Fitter.Fit. Callers with a growing
+// sample stream should hold a Fitter directly and skip the per-call setup.
 func FitSamplesOver(xs, ys []float64, useHi float64) (Model, error) {
-	if len(xs) != len(ys) {
-		return Model{}, fmt.Errorf("fit: len(xs)=%d len(ys)=%d: %w", len(xs), len(ys), ErrTooFewPoints)
-	}
-	if len(xs) < 2 {
-		return Model{}, ErrTooFewPoints
-	}
-	scale, spread := sampleScale(xs)
-	if !spread {
-		return Model{}, ErrDegenerate
-	}
-	lo, hi := minMax(xs)
-	if useHi < hi {
-		useHi = hi
-	}
-	// Exponential bases are scaled by the *usage* horizon, not the sample
-	// maximum: e^(x/scale) then spans [1, e] over the whole range the model
-	// will be evaluated on. Scaled to the sample maximum instead, a tiny
-	// fitted coefficient on e^x would explode under extrapolation and tell
-	// the solver a fast device takes forever on large blocks.
-	if scale < useHi {
-		scale = useHi
-	}
-
-	var best Model
-	bestScore := math.Inf(-1)
-	found := false
-	for _, bases := range candidateSets() {
-		if len(xs) <= len(bases) {
-			// A saturated fit (as many parameters as points) interpolates
-			// the noise exactly and extrapolates wildly; skip it.
-			continue
-		}
-		m, err := fitBasis(bases, xs, ys, scale)
-		if err != nil {
-			continue
-		}
-		// Prefer parsimony on near-ties: with 4–8 probe samples every
-		// candidate reaches R² ≈ 1 and the extra terms only encode noise
-		// that explodes under extrapolation.
-		score := m.AdjR2 - 0.002*float64(len(bases))
-		if !m.MonotoneNonDecreasing(lo, useHi) {
-			// Penalize models that wiggle anywhere in the usage range; keep
-			// them only if nothing monotone fits at all.
-			score -= 1
-		}
-		if score > bestScore {
-			best, bestScore, found = m, score, true
-		}
-	}
-	if !found {
-		// Every candidate was skipped (e.g. only 2 points): fall back to
-		// the line, which needs two points and never explodes.
-		m, err := fitBasis([]Basis{basisOne, basisX}, xs, ys, scale)
-		if err != nil {
-			return Model{}, err
-		}
-		return m, nil
-	}
-	return best, nil
+	return NewFitter().Fit(xs, ys, useHi)
 }
 
 func minMaxOrZero(xs []float64) (lo, hi float64) {
@@ -278,17 +229,19 @@ func rsquared(m Model, xs, ys []float64, p int) (r2, adj float64) {
 }
 
 // sampleScale returns the largest |x| and whether xs has ≥2 distinct values.
+// It is a plain scan (no sort, no allocation): max(|min|, |max|) equals the
+// largest absolute value, and min ≠ max detects spread — the hot refit path
+// calls this on every fitting round.
 func sampleScale(xs []float64) (scale float64, spread bool) {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	scale = math.Abs(s[len(s)-1])
-	if a := math.Abs(s[0]); a > scale {
+	lo, hi := minMax(xs)
+	scale = math.Abs(hi)
+	if a := math.Abs(lo); a > scale {
 		scale = a
 	}
 	if scale == 0 {
 		scale = 1
 	}
-	return scale, s[0] != s[len(s)-1]
+	return scale, lo != hi
 }
 
 func minMax(xs []float64) (lo, hi float64) {
@@ -341,18 +294,9 @@ func FitLogCurve(xs, ys []float64) (Model, error) {
 	return fitBasis([]Basis{basisOne, basisLog}, xs, ys, scale)
 }
 
-// FitLinear fits G_p by ordinary least squares.
+// FitLinear fits G_p by ordinary least squares. Like FitSamplesOver it
+// delegates to a fresh incremental Fitter (Line), so one-shot and
+// incremental transfer fits are numerically identical.
 func FitLinear(xs, ys []float64) (Linear, error) {
-	if len(xs) != len(ys) || len(xs) < 2 {
-		return Linear{}, ErrTooFewPoints
-	}
-	scale, spread := sampleScale(xs)
-	if !spread {
-		return Linear{}, ErrDegenerate
-	}
-	m, err := fitBasis([]Basis{basisOne, basisX}, xs, ys, scale)
-	if err != nil {
-		return Linear{}, err
-	}
-	return Linear{A1: m.Coef[1], A2: m.Coef[0], R2: m.R2}, nil
+	return NewFitter().Line(xs, ys)
 }

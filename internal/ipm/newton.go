@@ -13,22 +13,31 @@ type iterate struct {
 	tau, nu      float64
 }
 
-func (it *iterate) clone() *iterate {
-	return &iterate{
-		u: it.u.Clone(), s: it.s.Clone(), lam: it.lam.Clone(), z: it.z.Clone(),
-		tau: it.tau, nu: it.nu,
-	}
-}
-
 // solveIPM runs the primal-dual interior-point iteration on the scaled
 // problem. It returns ok=false when the iteration stalls or produces
 // non-finite values, in which case the caller falls back to bisection.
+//
+// All per-iteration storage — the (4n+2)² KKT Jacobian, its LU
+// factorization, the residual/step vectors, and the line-search trial
+// iterate — lives in a workspace allocated once per solve and reused across
+// iterations and trials. The previous version allocated a fresh Jacobian
+// per iteration and a full iterate clone per line-search trial, which
+// dominated the solver's allocation profile.
 func solveIPM(sc *scaled, opt Options) (Result, bool) {
 	n := sc.n
 	mu := opt.Mu0
 
 	it := initialPoint(sc, mu)
 	filter := newFilter()
+
+	dim := 4*n + 2
+	jac := linalg.NewMatrix(dim, dim)
+	res := linalg.NewVector(dim)
+	step := linalg.NewVector(dim)
+	var lu linalg.LU
+	// cand holds line-search trial points; only u, tau, s are read by
+	// meritPair, so the dual parts are never copied.
+	cand := &iterate{u: linalg.NewVector(n), s: linalg.NewVector(n)}
 
 	const (
 		kappaEps   = 10.0  // inner tolerance: E_mu <= kappaEps*mu
@@ -53,10 +62,13 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 			filter.reset()
 		}
 
-		// Assemble and solve the Newton system J*d = -R.
-		jac, res := kktSystem(sc, it, mu)
-		step, err := linalg.SolveLinear(jac, res.Scale(-1))
-		if err != nil || !step.IsFinite() {
+		// Assemble and solve the Newton system J*d = -R in the workspace.
+		kktSystem(sc, it, mu, jac, res)
+		res.Scale(-1)
+		if err := lu.Factor(jac); err != nil {
+			return Result{}, false
+		}
+		if err := lu.SolveInto(step, res); err != nil || !step.IsFinite() {
 			return Result{}, false
 		}
 		du := step[0:n]
@@ -72,18 +84,24 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 		aDual := maxStep(it.lam, dlam, fracToBdry)
 		aDual = math.Min(aDual, maxStep(it.z, dz, fracToBdry))
 
-		// Filter line search on the primal variables.
+		// Filter line search on the primal variables. The trial point reuses
+		// the workspace iterate: each trial re-copies the current point, and
+		// acceptance swaps the buffers instead of abandoning them.
 		accepted := false
 		alpha := aPrimal
 		for trial := 0; trial < 40; trial++ {
-			cand := it.clone()
+			copy(cand.u, it.u)
+			copy(cand.s, it.s)
+			cand.tau = it.tau
 			cand.u.AddScaled(alpha, du)
 			cand.tau += alpha * dtau
 			cand.s.AddScaled(alpha, ds)
 			th, ph := meritPair(sc, cand, mu)
 			if filter.acceptable(th, ph) && math.IsInf(th, 0) == false {
 				filter.add(th, ph)
-				it.u, it.tau, it.s = cand.u, cand.tau, cand.s
+				it.u, cand.u = cand.u, it.u
+				it.s, cand.s = cand.s, it.s
+				it.tau = cand.tau
 				accepted = true
 				break
 			}
@@ -147,13 +165,16 @@ func initialPoint(sc *scaled, mu float64) *iterate {
 }
 
 // kktSystem builds the Jacobian and residual of the perturbed KKT
-// conditions at the current iterate. Variable order:
+// conditions at the current iterate into the caller-provided workspace
+// (jac is reshaped and zeroed, res overwritten). Variable order:
 // u(0..n-1), tau(n), s(n+1..2n), lam(2n+1..3n), z(3n+1..4n), nu(4n+1).
-func kktSystem(sc *scaled, it *iterate, mu float64) (*linalg.Matrix, linalg.Vector) {
+func kktSystem(sc *scaled, it *iterate, mu float64, jac *linalg.Matrix, res linalg.Vector) {
 	n := sc.n
 	dim := 4*n + 2
-	jac := linalg.NewMatrix(dim, dim)
-	res := linalg.NewVector(dim)
+	jac.Reset(dim, dim)
+	for i := range res {
+		res[i] = 0
+	}
 
 	iU := func(g int) int { return g }
 	iTau := n
@@ -207,7 +228,6 @@ func kktSystem(sc *scaled, it *iterate, mu float64) (*linalg.Matrix, linalg.Vect
 		res[iNu] += it.u[g]
 		jac.Set(iNu, iU(g), 1)
 	}
-	return jac, res
 }
 
 // kktError is the max-norm of the KKT residual with barrier parameter mu

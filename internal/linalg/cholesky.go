@@ -3,7 +3,9 @@ package linalg
 import "math"
 
 // Cholesky holds the lower-triangular factor L of a symmetric positive
-// definite matrix A = L·Lᵀ.
+// definite matrix A = L·Lᵀ. The zero value is ready to use with Factor; a
+// Cholesky can be re-factored any number of times and reuses its storage, so
+// warm refits allocate nothing.
 type Cholesky struct {
 	l *Matrix
 }
@@ -12,11 +14,27 @@ type Cholesky struct {
 // positive definite matrix a (only the lower triangle of a is read). It
 // returns ErrSingular if a is not positive definite.
 func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Factor(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factor (re)computes the factorization of a into c, reusing c's storage
+// when the size allows. Only the lower triangle of a is read. On error the
+// factor is invalid and must not be used with Solve.
+func (c *Cholesky) Factor(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, ErrDimension
+		return ErrDimension
 	}
 	n := a.Rows
-	l := NewMatrix(n, n)
+	if c.l == nil {
+		c.l = NewMatrix(n, n)
+	} else {
+		c.l.Reset(n, n)
+	}
+	l := c.l
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
@@ -24,7 +42,7 @@ func FactorCholesky(a *Matrix) (*Cholesky, error) {
 			d -= ljk * ljk
 		}
 		if d <= 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		d = math.Sqrt(d)
 		l.Set(j, j, d)
@@ -36,31 +54,46 @@ func FactorCholesky(a *Matrix) (*Cholesky, error) {
 			l.Set(i, j, s/d)
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }
 
 // Solve solves A·x = b given the factorization.
 func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	x := NewVector(c.l.Rows)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A·x = b into the caller-provided x (len n). x may alias
+// b; the solve happens in place on x. It never allocates.
+func (c *Cholesky) SolveInto(x, b Vector) error {
 	n := c.l.Rows
-	if len(b) != n {
-		return nil, ErrDimension
+	if len(b) != n || len(x) != n {
+		return ErrDimension
+	}
+	if n == 0 {
+		return nil
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
 	}
 	// Forward: L·y = b.
-	y := b.Clone()
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {
-			y[i] -= c.l.At(i, j) * y[j]
+			x[i] -= c.l.At(i, j) * x[j]
 		}
-		y[i] /= c.l.At(i, i)
+		x[i] /= c.l.At(i, i)
 	}
 	// Backward: Lᵀ·x = y.
 	for i := n - 1; i >= 0; i-- {
 		for j := i + 1; j < n; j++ {
-			y[i] -= c.l.At(j, i) * y[j]
+			x[i] -= c.l.At(j, i) * x[j]
 		}
-		y[i] /= c.l.At(i, i)
+		x[i] /= c.l.At(i, i)
 	}
-	return y, nil
+	return nil
 }
 
 // L returns a copy of the lower-triangular factor.

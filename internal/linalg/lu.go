@@ -3,7 +3,9 @@ package linalg
 import "math"
 
 // LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
-// unit lower triangular and U upper triangular, stored packed in lu.
+// unit lower triangular and U upper triangular, stored packed in lu. The
+// zero value is ready to use with Factor; re-factoring reuses the packed
+// storage and pivot array, so warm solves allocate nothing.
 type LU struct {
 	lu   *Matrix
 	piv  []int
@@ -14,11 +16,30 @@ type LU struct {
 // (row) pivoting. It returns ErrSingular if a zero pivot is met; the
 // factorization object is still returned for inspection.
 func FactorLU(a *Matrix) (*LU, error) {
+	f := &LU{}
+	err := f.Factor(a)
+	return f, err
+}
+
+// Factor (re)computes the factorization of a into f, reusing f's storage
+// when capacity allows. a is not modified.
+func (f *LU) Factor(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, ErrDimension
+		return ErrDimension
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	if f.lu == nil {
+		f.lu = a.Clone()
+	} else {
+		f.lu.Reset(n, n)
+		copy(f.lu.Data, a.Data)
+	}
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	} else {
+		f.piv = f.piv[:n]
+	}
+	f.sign = 1
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -32,7 +53,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if pmax == 0 {
-			return f, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk := lu.Data[k*n : (k+1)*n]
@@ -57,16 +78,26 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b using the factorization. b is not modified.
 func (f *LU) Solve(b Vector) (Vector, error) {
-	n := f.lu.Rows
-	if len(b) != n {
-		return nil, ErrDimension
+	x := NewVector(f.lu.Rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
 	}
-	x := NewVector(n)
+	return x, nil
+}
+
+// SolveInto solves A·x = b into the caller-provided x (len n). x must not
+// alias b: the permuted load reads all of b while writing x. It never
+// allocates.
+func (f *LU) SolveInto(x, b Vector) error {
+	n := f.lu.Rows
+	if len(b) != n || len(x) != n {
+		return ErrDimension
+	}
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -87,11 +118,11 @@ func (f *LU) Solve(b Vector) (Vector, error) {
 			s -= row[j] * x[j]
 		}
 		if row[i] == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = s / row[i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.

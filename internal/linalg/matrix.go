@@ -44,6 +44,27 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// Reset reshapes m to rows×cols and zeroes every entry, reusing the backing
+// array when its capacity allows. It is the workspace primitive behind the
+// zero-allocation refit paths: factorizations and accumulators Reset their
+// scratch matrices instead of allocating fresh ones.
+func (m *Matrix) Reset(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // At returns element (i,j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 

@@ -5,19 +5,39 @@ import "math"
 // QR holds a Householder QR factorization of an m×n matrix with m ≥ n:
 // A = Q·R. The factors are stored packed: the upper triangle of qr holds R,
 // the lower part holds the Householder vectors, and tau the scalar factors.
+// The zero value is ready to use with Factor; re-factoring reuses all
+// storage, so warm least-squares solves allocate nothing.
 type QR struct {
 	qr    *Matrix
 	tau   Vector
 	rdiag Vector // diagonal of R, one entry per column
+	work  Vector // scratch for SolveInto (len m)
 }
 
 // FactorQR computes the Householder QR factorization of a (m ≥ n required).
 func FactorQR(a *Matrix) (*QR, error) {
+	f := &QR{}
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factor (re)computes the factorization of a into f, reusing f's storage
+// when capacity allows. a is not modified.
+func (f *QR) Factor(a *Matrix) error {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		return nil, ErrDimension
+		return ErrDimension
 	}
-	f := &QR{qr: a.Clone(), tau: NewVector(n)}
+	if f.qr == nil {
+		f.qr = a.Clone()
+	} else {
+		f.qr.Reset(m, n)
+		copy(f.qr.Data, a.Data)
+	}
+	f.tau = resizeZero(f.tau, n)
+	f.rdiag = resizeZero(f.rdiag, n)
 	qr := f.qr
 	for k := 0; k < n; k++ {
 		// Norm of column k below the diagonal.
@@ -27,7 +47,7 @@ func FactorQR(a *Matrix) (*QR, error) {
 		}
 		if norm == 0 {
 			f.tau[k] = 0
-			f.rdiag = append(f.rdiag, 0)
+			f.rdiag[k] = 0
 			continue
 		}
 		if qr.At(k, k) > 0 {
@@ -49,19 +69,47 @@ func FactorQR(a *Matrix) (*QR, error) {
 				qr.Add(i, j, s*qr.At(i, k))
 			}
 		}
-		f.rdiag = append(f.rdiag, -norm)
+		f.rdiag[k] = -norm
 	}
-	return f, nil
+	return nil
+}
+
+// resizeZero returns v resized to n with every entry zeroed, reusing the
+// backing array when capacity allows.
+func resizeZero(v Vector, n int) Vector {
+	if cap(v) < n {
+		return NewVector(n)
+	}
+	v = v[:n]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
 }
 
 // Solve computes the least-squares solution x minimizing ‖A·x − b‖₂.
 // It returns ErrSingular if R has a zero diagonal entry (rank-deficient A).
 func (f *QR) Solve(b Vector) (Vector, error) {
-	m, n := f.qr.Rows, f.qr.Cols
-	if len(b) != m {
-		return nil, ErrDimension
+	x := NewVector(f.qr.Cols)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
 	}
-	y := b.Clone()
+	return x, nil
+}
+
+// SolveInto computes the least-squares solution into the caller-provided x
+// (len n). b is not modified. After the first call at a given size it never
+// allocates (an internal scratch vector is reused across calls).
+func (f *QR) SolveInto(x, b Vector) error {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m || len(x) != n {
+		return ErrDimension
+	}
+	if cap(f.work) < m {
+		f.work = NewVector(m)
+	}
+	y := f.work[:m]
+	copy(y, b)
 	// Apply Qᵀ to y.
 	for k := 0; k < n; k++ {
 		if f.tau[k] == 0 {
@@ -77,7 +125,6 @@ func (f *QR) Solve(b Vector) (Vector, error) {
 		}
 	}
 	// Back-substitute R·x = y[0:n].
-	x := NewVector(n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for j := i + 1; j < n; j++ {
@@ -85,11 +132,11 @@ func (f *QR) Solve(b Vector) (Vector, error) {
 		}
 		d := f.rdiag[i]
 		if d == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
 // RDiag returns the diagonal of R; near-zero entries signal rank deficiency.

@@ -1,0 +1,194 @@
+package linalg
+
+import "testing"
+
+// reusable-workspace tests: re-Factoring into an existing object must give
+// the exact same factors and solutions as the one-shot constructors, and
+// warm Factor+SolveInto must not allocate.
+
+func spdMatrix(n int) *Matrix {
+	a := benchMatrix(n)
+	// Make it symmetric positive definite: A·Aᵀ + n·I.
+	s := a.Mul(a.T())
+	for i := 0; i < n; i++ {
+		s.Add(i, i, float64(n))
+	}
+	return s
+}
+
+func TestMatrixReset(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(1, 1, 7)
+	m.Reset(2, 4)
+	if m.Rows != 2 || m.Cols != 4 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Reset left a nonzero entry")
+		}
+	}
+	// Growing past capacity must still work.
+	m.Reset(5, 5)
+	if len(m.Data) != 25 {
+		t.Fatalf("len %d", len(m.Data))
+	}
+}
+
+func TestCholeskyRefactorMatchesOneShot(t *testing.T) {
+	a, b := spdMatrix(4), spdMatrix(6)
+	rhsB := NewVector(6)
+	for i := range rhsB {
+		rhsB[i] = float64(i + 1)
+	}
+	var c Cholesky
+	if err := c.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Factor(b); err != nil { // re-factor at a different size
+		t.Fatal(err)
+	}
+	one, err := FactorCholesky(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL, gotL := one.L(), c.L()
+	for i := range wantL.Data {
+		if wantL.Data[i] != gotL.Data[i] {
+			t.Fatalf("refactored L differs at %d: %v vs %v", i, gotL.Data[i], wantL.Data[i])
+		}
+	}
+	x := NewVector(6)
+	if err := c.SolveInto(x, rhsB); err != nil {
+		t.Fatal(err)
+	}
+	want, err := one.Solve(rhsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("SolveInto[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLURefactorMatchesOneShot(t *testing.T) {
+	a, b := benchMatrix(4), benchMatrix(7)
+	rhs := NewVector(7)
+	for i := range rhs {
+		rhs[i] = float64(2*i - 3)
+	}
+	var f LU
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Factor(b); err != nil {
+		t.Fatal(err)
+	}
+	one, err := FactorLU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Det() != one.Det() {
+		t.Fatalf("Det %v vs %v", f.Det(), one.Det())
+	}
+	x := NewVector(7)
+	if err := f.SolveInto(x, rhs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := one.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("SolveInto[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRRefactorMatchesOneShot(t *testing.T) {
+	a := NewMatrix(8, 3)
+	rhs := NewVector(8)
+	for i := 0; i < 8; i++ {
+		x := float64(i + 1)
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, x*x)
+		rhs[i] = 5 - 2*x + 0.5*x*x
+	}
+	var f QR
+	if err := f.Factor(benchMatrix(5)); err != nil { // warm up at another size
+		t.Fatal(err)
+	}
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	one, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewVector(3)
+	if err := f.SolveInto(x, rhs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := one.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("SolveInto[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+// TestWarmFactorSolveZeroAlloc enforces the workspace contract: after the
+// first Factor at a given size, Factor+SolveInto cycles allocate nothing.
+func TestWarmFactorSolveZeroAlloc(t *testing.T) {
+	spd := spdMatrix(6)
+	gen := benchMatrix(6)
+	tall := NewMatrix(8, 3)
+	for i := 0; i < 8; i++ {
+		x := float64(i + 1)
+		tall.Set(i, 0, 1)
+		tall.Set(i, 1, x)
+		tall.Set(i, 2, x*x)
+	}
+	rhs6, rhs8 := NewVector(6), NewVector(8)
+	for i := range rhs6 {
+		rhs6[i] = float64(i + 1)
+	}
+	for i := range rhs8 {
+		rhs8[i] = float64(i + 1)
+	}
+	var c Cholesky
+	var l LU
+	var q QR
+	x6, x3 := NewVector(6), NewVector(3)
+	warm := func() {
+		if err := c.Factor(spd); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SolveInto(x6, rhs6); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Factor(gen); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.SolveInto(x6, rhs6); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Factor(tall); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.SolveInto(x3, rhs8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Fatalf("warm factor+solve allocates %v times, want 0", allocs)
+	}
+}

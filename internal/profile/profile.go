@@ -12,6 +12,7 @@ import (
 
 	"plbhec/internal/fit"
 	"plbhec/internal/ipm"
+	"plbhec/internal/linalg"
 )
 
 // Sample is one timing observation for a block of Units work units.
@@ -20,10 +21,19 @@ type Sample struct {
 	Seconds float64
 }
 
-// Sampler accumulates per-unit timing samples for n processing units.
+// Sampler accumulates per-unit timing samples for n processing units. It
+// also owns one incremental fit.Fitter per unit, so each FitAll folds only
+// the samples that arrived since the previous round into the accumulated
+// normal equations instead of refitting the whole history from scratch.
 type Sampler struct {
 	Exec  [][]Sample // kernel-time samples per PU (feeds F_p)
 	Trans [][]Sample // transfer-time samples per PU (feeds G_p)
+
+	// fitters are created lazily in FitAll (one per PU), so zero-value and
+	// literal-constructed Samplers keep working.
+	fitters []*fit.Fitter
+	// xsBuf/ysBuf are the split scratch reused across PUs and rounds.
+	xsBuf, ysBuf []float64
 }
 
 // NewSampler returns a sampler for n processing units.
@@ -151,18 +161,30 @@ var ErrNeedSamples = errors.New("profile: not enough samples to fit")
 // under extrapolation are rejected.
 func (s *Sampler) FitAll(horizon float64) (Models, error) {
 	n := s.NumPU()
+	for len(s.fitters) < n {
+		s.fitters = append(s.fitters, nil)
+	}
 	ms := Models{PU: make([]Model, n), MinR2: math.Inf(1), RMSE: make([]float64, n)}
 	for pu := 0; pu < n; pu++ {
 		if len(s.Exec[pu]) < 2 {
 			return Models{}, fmt.Errorf("%w: PU %d has %d samples", ErrNeedSamples, pu, len(s.Exec[pu]))
 		}
-		xs, ys := split(s.Exec[pu])
-		f, err := fit.FitSamplesOver(xs, ys, horizon)
+		if s.fitters[pu] == nil {
+			s.fitters[pu] = fit.NewFitter()
+		}
+		ft := s.fitters[pu]
+		xs, ys := s.split(s.Exec[pu])
+		f, err := ft.Fit(xs, ys, horizon)
 		if err != nil {
 			return Models{}, fmt.Errorf("profile: PU %d exec fit: %w", pu, err)
 		}
-		txs, tys := split(s.Trans[pu])
-		g, err := fit.FitLinear(txs, tys)
+		// The fitter owns the returned Coef until its next Fit; the models
+		// outlive the next round (schedulers keep first-round models for
+		// adaptation ratios), so take a private copy.
+		f.Coef = append(linalg.Vector(nil), f.Coef...)
+		ms.RMSE[pu] = rmse(f, xs, ys)
+		txs, tys := s.split(s.Trans[pu]) // reuses the xs/ys scratch
+		g, err := ft.Line(txs, tys)
 		if err != nil {
 			// A degenerate transfer fit (e.g. all-zero times on the live
 			// engine) collapses to G = 0 rather than failing the model.
@@ -170,7 +192,6 @@ func (s *Sampler) FitAll(horizon float64) (Models, error) {
 		}
 		floor, cap, maxX := rateBounds(s.Exec[pu])
 		ms.PU[pu] = Model{F: f, G: g, FloorRate: floor, CapRate: cap, MaxSample: maxX}
-		ms.RMSE[pu] = rmse(f, xs, ys)
 		if f.R2 < ms.MinR2 {
 			ms.MinR2 = f.R2
 		}
@@ -220,11 +241,18 @@ func rateBounds(samples []Sample) (floor, cap, maxX float64) {
 	return best * 0.8, worst * 2, maxX
 }
 
-func split(samples []Sample) (xs, ys []float64) {
-	xs = make([]float64, len(samples))
-	ys = make([]float64, len(samples))
-	for i, s := range samples {
-		xs[i], ys[i] = s.Units, s.Seconds
+// split unpacks samples into the sampler's reusable xs/ys scratch buffers.
+// The returned slices are valid until the next split call; the fit.Fitter
+// copies what it keeps, so the aliasing never escapes FitAll.
+func (s *Sampler) split(samples []Sample) (xs, ys []float64) {
+	if cap(s.xsBuf) < len(samples) {
+		s.xsBuf = make([]float64, len(samples))
+		s.ysBuf = make([]float64, len(samples))
+	}
+	xs = s.xsBuf[:len(samples)]
+	ys = s.ysBuf[:len(samples)]
+	for i, smp := range samples {
+		xs[i], ys[i] = smp.Units, smp.Seconds
 	}
 	return xs, ys
 }

@@ -19,6 +19,41 @@ func BenchmarkEventChain(b *testing.B) {
 	}
 }
 
+// BenchmarkHandlerChain is BenchmarkEventChain on the closure-free Schedule
+// path: steady-state it performs zero allocations per event.
+func BenchmarkHandlerChain(b *testing.B) {
+	e := New()
+	h := &countHandler{e: e}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.n = 0
+		e.Schedule(e.Now()+1, h)
+		e.Run()
+	}
+}
+
+// BenchmarkFanout measures a wide queue: 1024 pending events pushed then
+// drained, the shape the simulation engine produces with many in-flight
+// blocks.
+func BenchmarkFanout(b *testing.B) {
+	e := New()
+	e.Grow(1024)
+	hs := make([]*countHandler, 1024)
+	for i := range hs {
+		hs[i] = &countHandler{e: e}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, h := range hs {
+			h.n = 999
+			e.Schedule(e.Now()+float64(j%7)+1, h)
+		}
+		e.Run()
+	}
+}
+
 func BenchmarkResourceAcquire(b *testing.B) {
 	e := New()
 	r := NewResource(e, "x")

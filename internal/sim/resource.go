@@ -48,7 +48,11 @@ func (r *Resource) AcquireAfter(earliest, hold float64, done func(start, end flo
 	r.freeAt = end
 	r.busy += hold
 	if done != nil {
-		r.eng.At(end, func() { done(start, end) })
+		// Branch-local copies keep the named results off the heap on the
+		// callback-free hot path: capturing start/end directly would force
+		// them heap-allocated even when done is nil.
+		s0, e0 := start, end
+		r.eng.At(end, func() { done(s0, e0) })
 	}
 	return start, end
 }

@@ -37,24 +37,21 @@ type liveEngine struct {
 	kernel   LiveKernel
 	start    time.Time
 	workers  []chan liveAssign
-	complete chan liveDone
+	complete chan TaskRecord
 	specs    []LiveWorkerSpec
 	// queueBusy accumulates, per worker, the time blocks spent waiting in
 	// the worker's channel between submission and pickup. Written only on
 	// the driving goroutine (drive), so no lock is needed.
 	queueBusy []float64
+	// queueName holds each worker's precomputed telemetry label
+	// ("<name>/queue"), so per-completion emission never concatenates.
+	queueName []string
 }
 
 type liveAssign struct {
-	seq      int
-	lo, hi   int64
-	submit   float64
-	callback func(TaskRecord)
-}
-
-type liveDone struct {
-	rec      TaskRecord
-	callback func(TaskRecord)
+	seq    int
+	lo, hi int64
+	submit float64
 }
 
 // LiveConfig configures a live session.
@@ -98,9 +95,12 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		session:   s,
 		kernel:    kernel,
 		start:     time.Now(),
-		complete:  make(chan liveDone, 4*len(cfg.Workers)),
+		complete:  make(chan TaskRecord, 4*len(cfg.Workers)),
 		specs:     cfg.Workers,
 		queueBusy: make([]float64, len(cfg.Workers)),
+	}
+	for _, w := range cfg.Workers {
+		le.queueName = append(le.queueName, w.Name+"/queue")
 	}
 	for i := range cfg.Workers {
 		ch := make(chan liveAssign, 16)
@@ -123,8 +123,8 @@ func (e *liveEngine) at(t float64, fn func()) bool { return false }
 // contention.
 func (e *liveEngine) linkBusy() map[string]float64 {
 	out := make(map[string]float64, len(e.specs))
-	for i, w := range e.specs {
-		out[w.Name+"/queue"] = e.queueBusy[i]
+	for i := range e.specs {
+		out[e.queueName[i]] = e.queueBusy[i]
 	}
 	return out
 }
@@ -154,19 +154,19 @@ func (e *liveEngine) executeParallel(lo, hi int64, par int) {
 	wg.Wait()
 }
 
-func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, complete func(TaskRecord)) {
-	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), callback: complete}
+func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64) {
+	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now()}
 }
 
 func (e *liveEngine) drive() error {
 	for e.session.inflight > 0 {
-		done := <-e.complete
-		if wait := done.rec.TransferEnd - done.rec.TransferStart; wait > 0 {
-			e.queueBusy[done.rec.PU] += wait
-			e.session.emitLink(e.specs[done.rec.PU].Name+"/queue",
-				done.rec.TransferStart, done.rec.TransferEnd, done.rec.Units)
+		rec := <-e.complete
+		if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
+			e.queueBusy[rec.PU] += wait
+			e.session.emitLink(e.queueName[rec.PU],
+				rec.TransferStart, rec.TransferEnd, rec.Units)
 		}
-		done.callback(done.rec)
+		e.session.onComplete(rec)
 	}
 	for _, ch := range e.workers {
 		close(ch)
@@ -188,11 +188,10 @@ func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 			time.Sleep(time.Duration(float64(time.Second) * (slow - 1) * (t1 - t0)))
 		}
 		t2 := e.now()
-		rec := TaskRecord{
+		e.complete <- TaskRecord{
 			Seq: a.seq, PU: id, Lo: a.lo, Hi: a.hi, Units: a.hi - a.lo,
 			SubmitTime: a.submit, TransferStart: a.submit, TransferEnd: t0,
 			ExecStart: t0, ExecEnd: t2,
 		}
-		e.complete <- liveDone{rec: rec, callback: a.callback}
 	}
 }

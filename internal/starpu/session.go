@@ -126,7 +126,7 @@ func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
 			PU: pu.ID, Seq: seq, Units: n,
 		})
 	}
-	s.eng.launch(pu, seq, lo, hi, s.masterFree, s.onComplete)
+	s.eng.launch(pu, seq, lo, hi, s.masterFree)
 	return n
 }
 
@@ -273,4 +273,16 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 func (s *Session) initCommon(total int64) {
 	s.total = total
 	s.remaining = total
+	// Pre-size the record log so steady-state completions append without
+	// growth copies: a run issues a handful of probing rounds plus a few
+	// execution blocks and re-requests per unit. 64 records per unit (~5 KB
+	// each unit) absorbs virtually every run in one allocation; outliers
+	// still grow normally.
+	est := 64 * len(s.pus)
+	if est > 8192 {
+		est = 8192
+	}
+	if est > 0 {
+		s.records = make([]TaskRecord, 0, est)
+	}
 }

@@ -13,12 +13,45 @@ import (
 // kernel at a time); each machine's NIC and PCIe bus are FIFO resources
 // shared by that machine's units, so concurrent transfers to one node
 // serialize as they would on real links.
+//
+// All per-launch lookups are precomputed in NewSimSession: the NIC/PCIe
+// resources and their telemetry names are indexed per PU (no map lookups on
+// the hot path), and completions reuse pooled payloads scheduled through
+// sim.Engine.Schedule, so a steady-state launch→complete cycle performs no
+// heap allocations.
 type simEngine struct {
 	eng     *sim.Engine
 	session *Session
 	puRes   []*sim.Resource
-	nicRes  map[*cluster.Machine]*sim.Resource
-	pcieRes map[*cluster.Machine]*sim.Resource
+
+	// Per-PU precomputed link routing (indexed by PU ID): nil entries mean
+	// the hop does not apply (master-local NIC, CPU-side PCIe).
+	nicOfPU   []*sim.Resource
+	pcieOfPU  []*sim.Resource
+	nicName   []string // telemetry label of the PU's NIC hop
+	pcieName  []string // telemetry label of the PU's PCIe hop
+	machines  []*cluster.Machine
+	nicRes    []*sim.Resource // per machine, cluster order (for linkBusy)
+	pcieRes   []*sim.Resource
+	freeComps []*simCompletion // completion-payload pool
+}
+
+// simCompletion is the pooled completion payload: one block's TaskRecord
+// plus the engine to hand it back to. Firing returns the payload to the
+// pool before invoking the (potentially re-entrant) scheduler callback.
+type simCompletion struct {
+	eng *simEngine
+	rec TaskRecord
+}
+
+// Fire implements sim.Handler.
+func (c *simCompletion) Fire() {
+	e := c.eng
+	rec := c.rec
+	// Recycle first: the scheduler callback below may launch new blocks,
+	// which pop from the pool — including this very payload.
+	e.freeComps = append(e.freeComps, c)
+	e.session.onComplete(rec)
 }
 
 // SimConfig configures a simulated session.
@@ -46,19 +79,38 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 		chargeOn:  true,
 	}
 	s.initCommon(app.TotalUnits())
+	n := len(s.pus)
 	se := &simEngine{
-		eng:     sim.New(),
-		session: s,
-		nicRes:  make(map[*cluster.Machine]*sim.Resource),
-		pcieRes: make(map[*cluster.Machine]*sim.Resource),
+		eng:      sim.New(),
+		session:  s,
+		nicOfPU:  make([]*sim.Resource, n),
+		pcieOfPU: make([]*sim.Resource, n),
+		nicName:  make([]string, n),
+		pcieName: make([]string, n),
 	}
-	for _, pu := range s.pus {
+	// One NIC and one PCIe resource per machine, built in cluster order.
+	machineIdx := make(map[*cluster.Machine]int, len(clu.Machines))
+	for i, m := range clu.Machines {
+		machineIdx[m] = i
+		se.machines = append(se.machines, m)
+		se.nicRes = append(se.nicRes, sim.NewResource(se.eng, m.Name+"/nic"))
+		se.pcieRes = append(se.pcieRes, sim.NewResource(se.eng, m.Name+"/pcie"))
+	}
+	for i, pu := range s.pus {
 		se.puRes = append(se.puRes, sim.NewResource(se.eng, pu.Name()))
-		if _, ok := se.nicRes[pu.Machine]; !ok {
-			se.nicRes[pu.Machine] = sim.NewResource(se.eng, pu.Machine.Name+"/nic")
-			se.pcieRes[pu.Machine] = sim.NewResource(se.eng, pu.Machine.Name+"/pcie")
+		mi := machineIdx[pu.Machine]
+		if !pu.Machine.IsMaster {
+			se.nicOfPU[i] = se.nicRes[mi]
+			se.nicName[i] = se.nicRes[mi].Name()
+		}
+		if pu.IsGPU() {
+			se.pcieOfPU[i] = se.pcieRes[mi]
+			se.pcieName[i] = se.pcieRes[mi].Name()
 		}
 	}
+	// Every in-flight block holds at most one pending completion event;
+	// pre-sizing past the PU count keeps the steady state allocation-free.
+	se.eng.Grow(4*n + 16)
 	s.eng = se
 	return s
 }
@@ -80,12 +132,10 @@ func (e *simEngine) drive() error {
 
 // linkBusy reports NIC and PCIe occupancy for every machine.
 func (e *simEngine) linkBusy() map[string]float64 {
-	out := make(map[string]float64, 2*len(e.nicRes))
-	for m, r := range e.nicRes {
-		out[m.Name+"/nic"] = r.BusySeconds()
-	}
-	for m, r := range e.pcieRes {
-		out[m.Name+"/pcie"] = r.BusySeconds()
+	out := make(map[string]float64, 2*len(e.machines))
+	for i := range e.machines {
+		out[e.nicRes[i].Name()] = e.nicRes[i].BusySeconds()
+		out[e.pcieRes[i].Name()] = e.pcieRes[i].BusySeconds()
 	}
 	return out
 }
@@ -93,8 +143,8 @@ func (e *simEngine) linkBusy() map[string]float64 {
 // launch chains the block through the communication links and the device,
 // reserving each resource in order: NIC (remote machines) → PCIe (GPUs) →
 // the processing unit itself. All reservations are computed analytically at
-// submission; a single event fires at kernel completion.
-func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, complete func(TaskRecord)) {
+// submission; a single pooled event fires at kernel completion.
+func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64) {
 	units := hi - lo
 	rec := TaskRecord{Seq: seq, PU: pu.ID, Lo: lo, Hi: hi, Units: units, SubmitTime: e.eng.Now()}
 
@@ -106,17 +156,17 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 	bytes := float64(units) * prof.TransferBytesPerUnit
 
 	rec.TransferStart = t
-	if !pu.Machine.IsMaster && bytes > 0 {
+	if nic := e.nicOfPU[pu.ID]; nic != nil && bytes > 0 {
 		hold := pu.Machine.NIC.TransferSeconds(bytes)
 		var s0 float64
-		s0, t = e.nicRes[pu.Machine].AcquireAfter(t, hold, nil)
-		e.session.emitLink(pu.Machine.Name+"/nic", s0, t, units)
+		s0, t = nic.AcquireAfter(t, hold, nil)
+		e.session.emitLink(e.nicName[pu.ID], s0, t, units)
 	}
-	if pu.IsGPU() && bytes > 0 {
+	if pcie := e.pcieOfPU[pu.ID]; pcie != nil && bytes > 0 {
 		hold := pu.Machine.PCIe.TransferSeconds(bytes)
 		var s0 float64
-		s0, t = e.pcieRes[pu.Machine].AcquireAfter(t, hold, nil)
-		e.session.emitLink(pu.Machine.Name+"/pcie", s0, t, units)
+		s0, t = pcie.AcquireAfter(t, hold, nil)
+		e.session.emitLink(e.pcieName[pu.ID], s0, t, units)
 	}
 	rec.TransferEnd = t
 
@@ -132,5 +182,15 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 	}
 	start, end := e.puRes[pu.ID].AcquireAfter(t, exec, nil)
 	rec.ExecStart, rec.ExecEnd = start, end
-	e.eng.At(end, func() { complete(rec) })
+
+	var c *simCompletion
+	if n := len(e.freeComps); n > 0 {
+		c = e.freeComps[n-1]
+		e.freeComps[n-1] = nil
+		e.freeComps = e.freeComps[:n-1]
+	} else {
+		c = &simCompletion{eng: e}
+	}
+	c.rec = rec
+	e.eng.Schedule(end, c)
 }

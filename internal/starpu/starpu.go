@@ -121,9 +121,11 @@ type Report struct {
 type engine interface {
 	now() float64
 	// launch runs block [lo,hi) on pu, not starting data movement before
-	// earliest, and delivers the completed record via complete. complete
-	// runs serialized with all other scheduler callbacks.
-	launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, complete func(TaskRecord))
+	// earliest, and delivers the completed record to the session's
+	// onComplete, serialized with all other scheduler callbacks. Engines
+	// call the session directly instead of taking a callback so the hot
+	// path never materializes a per-launch method value.
+	launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64)
 	// drive processes work until no launched block remains unfinished.
 	drive() error
 	// at schedules fn at absolute engine time t; returns false if the
