@@ -22,6 +22,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"plbhec/internal/stats"
 )
@@ -130,8 +131,10 @@ type Device struct {
 	Spec
 	rng *stats.RNG
 	// speedFactor scales throughput; 1 is nominal, 0.5 means half speed,
-	// 0 marks a failed device.
-	speedFactor float64
+	// 0 marks a failed device. Stored as IEEE-754 bits so fault injectors
+	// running on other goroutines (the live engine has no serialized clock)
+	// can flip it mid-run without a data race.
+	speedFactor atomic.Uint64
 	noiseSigma  float64
 }
 
@@ -139,28 +142,33 @@ type Device struct {
 // noiseSigma is the lognormal sigma applied to every execution time sample
 // (0 disables noise).
 func New(spec Spec, seed int64, noiseSigma float64) *Device {
-	return &Device{
-		Spec:        spec,
-		rng:         stats.NewRNG(seed),
-		speedFactor: 1,
-		noiseSigma:  noiseSigma,
+	d := &Device{
+		Spec:       spec,
+		rng:        stats.NewRNG(seed),
+		noiseSigma: noiseSigma,
 	}
+	d.speedFactor.Store(math.Float64bits(1))
+	return d
 }
 
 // SetSpeedFactor changes the device's throughput multiplier. Factor 0 marks
-// the device as failed; negative factors panic.
+// the device as failed. Negative and NaN factors clamp to 0: fault schedules
+// are decoded from arbitrary inputs (fuzzing, severity arithmetic), and an
+// invalid factor must degrade to the worst legal state — failed — rather
+// than drive time backwards or poison the event heap with NaN. Safe to call
+// from any goroutine.
 func (d *Device) SetSpeedFactor(f float64) {
-	if f < 0 {
-		panic("device: negative speed factor")
+	if f < 0 || math.IsNaN(f) {
+		f = 0
 	}
-	d.speedFactor = f
+	d.speedFactor.Store(math.Float64bits(f))
 }
 
 // SpeedFactor returns the current throughput multiplier.
-func (d *Device) SpeedFactor() float64 { return d.speedFactor }
+func (d *Device) SpeedFactor() float64 { return math.Float64frombits(d.speedFactor.Load()) }
 
 // Failed reports whether the device is marked failed (speed factor 0).
-func (d *Device) Failed() bool { return d.speedFactor == 0 }
+func (d *Device) Failed() bool { return d.SpeedFactor() == 0 }
 
 // NominalExecSeconds returns the noise-free time to execute a block of
 // units work units of kernel p. It is the ground-truth curve F_p[x] that the
@@ -169,10 +177,11 @@ func (d *Device) NominalExecSeconds(p KernelProfile, units float64) float64 {
 	if units <= 0 {
 		return 0
 	}
-	if d.speedFactor == 0 {
+	sf := d.SpeedFactor()
+	if sf == 0 {
 		return math.Inf(1)
 	}
-	peak := d.PeakGFlops() * 1e9 * d.speedFactor
+	peak := d.PeakGFlops() * 1e9 * sf
 	var eff float64
 	switch d.Kind {
 	case GPU:
@@ -183,7 +192,7 @@ func (d *Device) NominalExecSeconds(p KernelProfile, units float64) float64 {
 	compute := units * p.FlopsPerUnit / (peak * eff)
 	mem := 0.0
 	if d.MemBWGBs > 0 && p.BytesPerUnit > 0 {
-		mem = units * p.BytesPerUnit / (d.MemBWGBs * 1e9 * d.speedFactor)
+		mem = units * p.BytesPerUnit / (d.MemBWGBs * 1e9 * sf)
 	}
 	t := compute
 	if mem > t {

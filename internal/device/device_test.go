@@ -164,12 +164,19 @@ func TestSpeedFactorAndFailure(t *testing.T) {
 	if !math.IsInf(d.NominalExecSeconds(p, 100), 1) {
 		t.Error("failed device should take infinite time")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on negative speed factor")
+	// Invalid factors clamp to failed instead of panicking or corrupting
+	// the model: a fault schedule decoded from arbitrary bytes may compute
+	// any float, and the worst legal interpretation is "device down".
+	for _, bad := range []float64{-1, -0.001, math.Inf(-1), math.NaN()} {
+		d.SetSpeedFactor(1)
+		d.SetSpeedFactor(bad)
+		if !d.Failed() {
+			t.Errorf("SetSpeedFactor(%v) should clamp to failed", bad)
 		}
-	}()
-	d.SetSpeedFactor(-1)
+		if got := d.SpeedFactor(); got != 0 {
+			t.Errorf("SetSpeedFactor(%v) left factor %v, want 0", bad, got)
+		}
+	}
 }
 
 func TestMemoryBoundKernel(t *testing.T) {

@@ -1,0 +1,139 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+
+	"plbhec/internal/fault"
+	"plbhec/internal/starpu"
+	"plbhec/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "chaos",
+		Paper: "§VI (fault tolerance)",
+		Desc:  "Chaos sweep: declarative fault schedules × schedulers with the runtime retry machinery engaged",
+		Run:   runChaos,
+	})
+}
+
+// chaosScenario is one row group of the chaos sweep: a named generator that
+// maps a repetition seed to a fault schedule. Schedules are pure functions
+// of (scenario, seed), so the whole sweep is reproducible run-to-run and
+// across -jobs settings.
+type chaosScenario struct {
+	name string
+	gen  func(seed int64, horizon float64) fault.Schedule
+}
+
+func chaosScenarios() []chaosScenario {
+	return []chaosScenario{
+		{"stationary", func(int64, float64) fault.Schedule { return fault.Schedule{Name: "none"} }},
+		{"GPU death", func(_ int64, h float64) fault.Schedule {
+			return fault.Schedule{Name: "gpu-death", Specs: []fault.FaultSpec{
+				{Kind: fault.DeviceDeath, At: 0.4 * h, PU: 3},
+			}}
+		}},
+		{"brown-out + NIC slowdown", func(_ int64, h float64) fault.Schedule {
+			return fault.Schedule{Name: "brownout-nic", Specs: []fault.FaultSpec{
+				{Kind: fault.BrownOut, At: 0.3 * h, PU: 3, Duration: 0.3 * h},
+				{Kind: fault.LinkSlow, At: 0.3 * h, Machine: 1, Link: fault.NIC, Severity: 0.25, Duration: 0.4 * h},
+			}}
+		}},
+		{"random chaos (4 faults)", func(seed int64, h float64) fault.Schedule {
+			return fault.Rand(stats.NewRNG(9200+seed), 4, 2, h, 4)
+		}},
+	}
+}
+
+// runChaos evaluates every scheduler under seeded fault schedules with the
+// default retry policy: in-flight blocks on failed units are requeued
+// instead of wedging the run. Reported per cell: makespan over the
+// surviving repetitions, how many repetitions survived, and the summed
+// failover/requeue counts from the runtime's resilience accounting.
+func runChaos(o Options) error {
+	size := o.size(MM, 32768)
+	r := o.runner()
+
+	// Pilot run to scale every fault time to a typical makespan.
+	pilotSc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 9100}
+	pilot, err := r.RunCell(pilotSc, PLBHeC)
+	if err != nil {
+		return err
+	}
+	horizon := pilot.Makespan.Mean
+
+	scenarios := chaosScenarios()
+	type job struct {
+		si   int
+		name SchedName
+	}
+	var jobs []job
+	for si := range scenarios {
+		for _, name := range PaperSchedulers() {
+			jobs = append(jobs, job{si, name})
+		}
+	}
+	type cell struct {
+		sum                 stats.Summary
+		survived, seeds     int
+		failovers, requeues int64
+	}
+	cells := make([]cell, len(jobs))
+	seeds := o.seeds()
+	err = r.forEach(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		times := make([]float64, 0, seeds)
+		c := &cells[ji]
+		c.seeds = seeds
+		for i := 0; i < seeds; i++ {
+			sc := Scenario{Kind: MM, Size: size, Machines: 2, Seeds: 1, BaseSeed: 9100 + int64(i)}
+			app := MakeApp(sc.Kind, sc.Size)
+			clu := sc.Cluster(0)
+			sess := starpu.NewSimSession(clu, app, starpu.SimConfig{
+				Retry: starpu.DefaultRetryPolicy(),
+			})
+			sess.SetContext(r.Context())
+			schedule := scenarios[j.si].gen(int64(i), horizon)
+			if err := schedule.Apply(sess, clu); err != nil {
+				return fmt.Errorf("%s under %q: %w", j.name, scenarios[j.si].name, err)
+			}
+			s, err := NewScheduler(j.name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
+			if err != nil {
+				return err
+			}
+			rep, err := sess.Run(s)
+			if err != nil {
+				// A schedule may legitimately exhaust every unit; anything
+				// else is a real failure of the harness.
+				if errors.Is(err, starpu.ErrFailedDevice) {
+					continue
+				}
+				return fmt.Errorf("%s under %q: %w", j.name, scenarios[j.si].name, err)
+			}
+			times = append(times, rep.Makespan)
+			for _, res := range rep.Resilience {
+				c.failovers += res.Failovers
+				c.requeues += res.Requeues
+			}
+		}
+		c.survived = len(times)
+		c.sum = stats.Summarize(times)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := NewTable(fmt.Sprintf("chaos sweep — MM %d, 2 machines (fault horizon %.2fs, default retry policy)", size, horizon),
+		"Scenario", "Scheduler", "Time s", "Std", "Survived", "Failovers", "Requeues")
+	for ji, j := range jobs {
+		c := cells[ji]
+		t.AddRow(scenarios[j.si].name, string(j.name),
+			fmt.Sprintf("%.3f", c.sum.Mean), fmt.Sprintf("%.3f", c.sum.Std),
+			fmt.Sprintf("%d/%d", c.survived, c.seeds),
+			fmt.Sprintf("%d", c.failovers), fmt.Sprintf("%d", c.requeues))
+	}
+	return t.Emit(o, "chaos")
+}

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+
+	"plbhec/internal/stats"
+)
+
+// maxDecodedSpecs caps schedules built from arbitrary bytes so a fuzzer
+// cannot trade input length for unbounded event counts.
+const maxDecodedSpecs = 12
+
+// bytesPerSpec is how many fuzz bytes one decoded FaultSpec consumes.
+const bytesPerSpec = 7
+
+// FromBytes decodes an arbitrary byte string into a Schedule that is valid
+// by construction for a cluster of nPU units and nMachines machines, with
+// trigger times and durations inside [0, horizon]. Every possible input
+// maps to a legal schedule (never an error, never a panic) — the bridge
+// between go-fuzz byte corpora and the chaos harness. The mapping is pure,
+// so equal bytes always decode to the equal schedule.
+func FromBytes(data []byte, nPU, nMachines int, horizon float64) Schedule {
+	if nPU < 1 || nMachines < 1 || !(horizon > 0) {
+		return Schedule{Name: "decoded-empty"}
+	}
+	s := Schedule{Name: "decoded"}
+	for len(data) >= bytesPerSpec && len(s.Specs) < maxDecodedSpecs {
+		b := data[:bytesPerSpec]
+		data = data[bytesPerSpec:]
+		f := FaultSpec{
+			Kind:    Kind(b[0] % 6),
+			PU:      int(b[1]) % nPU,
+			Machine: int(b[1]) % nMachines,
+			Link:    LinkKind(b[6] % 2),
+			At:      horizon * float64(b[2]) / 256,
+			// Factor severities span the full legal [0.01, 1]; latency
+			// spikes stay small (≤ 0.5 s) so fuzz runs finish quickly.
+			Severity: 0.01 + 0.99*float64(b[3])/255,
+			Duration: horizon * float64(1+int(b[4])) / 256,
+			Ramp:     horizon * float64(b[5]) / 512,
+		}
+		if f.Kind == LatencySpike {
+			f.Severity = 0.5 * float64(b[3]) / 255
+		}
+		s.Specs = append(s.Specs, f)
+	}
+	return s
+}
+
+// Rand draws a schedule of n faults from the repo's deterministic RNG: the
+// same (seed, shape) always yields the same schedule, which is how the
+// chaos experiment sweeps a seeded scenario matrix. All faults land in
+// [0.1·horizon, 0.9·horizon] so the run is already under way when they hit.
+func Rand(rng *stats.RNG, nPU, nMachines int, horizon float64, n int) Schedule {
+	s := Schedule{Name: fmt.Sprintf("rand-%d", n)}
+	if nPU < 1 || nMachines < 1 || !(horizon > 0) {
+		return s
+	}
+	for i := 0; i < n; i++ {
+		f := FaultSpec{
+			Kind:     Kind(rng.Intn(6)),
+			PU:       rng.Intn(nPU),
+			Machine:  rng.Intn(nMachines),
+			Link:     LinkKind(rng.Intn(2)),
+			At:       horizon * (0.1 + 0.8*rng.Float64()),
+			Severity: 0.01 + 0.99*rng.Float64(),
+			Duration: horizon * (0.05 + 0.25*rng.Float64()),
+			Ramp:     horizon * 0.1 * rng.Float64(),
+		}
+		if f.Kind == LatencySpike {
+			f.Severity = 0.2 * rng.Float64()
+		}
+		s.Specs = append(s.Specs, f)
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+// Package fault is the deterministic fault-injection subsystem: declarative
+// schedules of device deaths, degradations, brown-outs, link slowdowns,
+// latency spikes, and straggler episodes, driven by the simulation engine's
+// clock. A Schedule applied to a session is bit-reproducible — the same
+// (schedule, cluster seed) always yields the same TaskRecord stream — which
+// is what lets the chaos harness pin golden hashes and replay any run.
+//
+// The package generalizes the paper's §VI fault-tolerance scenario (one
+// device dies mid-run) into the degraded and fluctuating resource regimes
+// that dynamic schedulers must survive: partial QoS drops, transient
+// brown-outs with recovery, and network contention.
+//
+// A fault either targets a processing unit (by flat cluster index) or a
+// machine's communication link. Overlapping transient faults compose: a
+// device's speed factor is the product of every active multiplier (death
+// wins), a link's bandwidth is its base value times every active slowdown,
+// and its latency is the base plus every active spike.
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind discriminates fault types.
+type Kind uint8
+
+const (
+	// DeviceDeath permanently fails the target unit at At (speed factor 0,
+	// never restored).
+	DeviceDeath Kind = iota
+	// Degrade permanently multiplies the target unit's speed by Severity.
+	// With Ramp > 0 the factor steps down from 1 to Severity over Ramp
+	// seconds instead of dropping at once (a cloud-QoS squeeze).
+	Degrade
+	// BrownOut fails the target unit at At and restores it at At+Duration.
+	BrownOut
+	// Straggler transiently multiplies the target unit's speed by Severity
+	// for Duration seconds: blocks executing in the window become
+	// stragglers, then the unit returns to nominal.
+	Straggler
+	// LinkSlow multiplies the target link's bandwidth by Severity, for
+	// Duration seconds (Duration 0: permanently).
+	LinkSlow
+	// LatencySpike adds Severity seconds to the target link's per-transfer
+	// latency, for Duration seconds (Duration 0: permanently).
+	LatencySpike
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case DeviceDeath:
+		return "device-death"
+	case Degrade:
+		return "degrade"
+	case BrownOut:
+		return "brown-out"
+	case Straggler:
+		return "straggler"
+	case LinkSlow:
+		return "link-slow"
+	case LatencySpike:
+		return "latency-spike"
+	}
+	return "unknown"
+}
+
+// LinkKind selects which of a machine's links a link fault targets.
+type LinkKind uint8
+
+const (
+	// NIC is the machine's Ethernet link to the master.
+	NIC LinkKind = iota
+	// PCIe is the machine's host-to-device bus.
+	PCIe
+)
+
+// String names the link kind.
+func (l LinkKind) String() string {
+	if l == PCIe {
+		return "pcie"
+	}
+	return "nic"
+}
+
+// rampSteps is how many discrete factor steps a Degrade ramp takes; the
+// discrete-event clock has no continuous decay, so a ramp is a staircase.
+const rampSteps = 4
+
+// FaultSpec is one declarative fault. Device faults (DeviceDeath, Degrade,
+// BrownOut, Straggler) target PU, the flat cluster index; link faults
+// (LinkSlow, LatencySpike) target (Machine, Link). Unused fields are
+// ignored by Validate.
+type FaultSpec struct {
+	// At is the trigger time in engine seconds.
+	At   float64
+	Kind Kind
+	// PU is the target processing unit (device faults).
+	PU int
+	// Machine indexes the cluster's machine list (link faults).
+	Machine int
+	// Link selects the machine's NIC or PCIe bus (link faults).
+	Link LinkKind
+	// Severity is the fault magnitude: a speed/bandwidth multiplier in
+	// [0.01, 1] for Degrade/Straggler/LinkSlow, added latency seconds in
+	// [0, 10] for LatencySpike. Ignored for DeviceDeath and BrownOut.
+	Severity float64
+	// Duration is how long a transient fault lasts (BrownOut, Straggler;
+	// for link faults 0 means permanent).
+	Duration float64
+	// Ramp, for Degrade, spreads the drop over this many seconds in
+	// rampSteps discrete steps; 0 applies Severity at once.
+	Ramp float64
+}
+
+// validate checks one spec against the cluster shape.
+func (f FaultSpec) validate(i, nPU, nMachines int) error {
+	bad := func(format string, args ...interface{}) error {
+		return fmt.Errorf("fault: spec %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
+	}
+	if math.IsNaN(f.At) || math.IsInf(f.At, 0) || f.At < 0 {
+		return bad("trigger time %v must be finite and >= 0", f.At)
+	}
+	factor := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0.01 || v > 1 {
+			return bad("%s %v out of [0.01, 1]", name, v)
+		}
+		return nil
+	}
+	duration := func(requirePositive bool) error {
+		if math.IsNaN(f.Duration) || math.IsInf(f.Duration, 0) || f.Duration < 0 {
+			return bad("duration %v must be finite and >= 0", f.Duration)
+		}
+		if requirePositive && f.Duration == 0 {
+			return bad("duration must be > 0")
+		}
+		return nil
+	}
+	targetPU := func() error {
+		if f.PU < 0 || f.PU >= nPU {
+			return bad("PU %d out of range [0,%d)", f.PU, nPU)
+		}
+		return nil
+	}
+	targetLink := func() error {
+		if f.Machine < 0 || f.Machine >= nMachines {
+			return bad("machine %d out of range [0,%d)", f.Machine, nMachines)
+		}
+		if f.Link != NIC && f.Link != PCIe {
+			return bad("unknown link kind %d", f.Link)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case DeviceDeath:
+		return targetPU()
+	case Degrade:
+		if err := targetPU(); err != nil {
+			return err
+		}
+		if err := factor("severity", f.Severity); err != nil {
+			return err
+		}
+		if math.IsNaN(f.Ramp) || math.IsInf(f.Ramp, 0) || f.Ramp < 0 {
+			return bad("ramp %v must be finite and >= 0", f.Ramp)
+		}
+		return nil
+	case BrownOut:
+		if err := targetPU(); err != nil {
+			return err
+		}
+		return duration(true)
+	case Straggler:
+		if err := targetPU(); err != nil {
+			return err
+		}
+		if err := factor("severity", f.Severity); err != nil {
+			return err
+		}
+		return duration(true)
+	case LinkSlow:
+		if err := targetLink(); err != nil {
+			return err
+		}
+		if err := factor("severity", f.Severity); err != nil {
+			return err
+		}
+		return duration(false)
+	case LatencySpike:
+		if err := targetLink(); err != nil {
+			return err
+		}
+		if math.IsNaN(f.Severity) || f.Severity < 0 || f.Severity > 10 {
+			return bad("added latency %v out of [0, 10] seconds", f.Severity)
+		}
+		return duration(false)
+	}
+	return bad("unknown fault kind %d", f.Kind)
+}
+
+// Schedule is a named, ordered set of faults — one chaos scenario. Specs
+// need not be time-sorted; installation order only breaks ties between
+// events at the exact same engine time.
+type Schedule struct {
+	Name  string
+	Specs []FaultSpec
+}
+
+// Validate checks every spec against a cluster of nPU processing units and
+// nMachines machines. Apply validates implicitly; fuzz decoders produce
+// always-valid schedules by construction.
+func (s Schedule) Validate(nPU, nMachines int) error {
+	for i, f := range s.Specs {
+		if err := f.validate(i, nPU, nMachines); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String summarizes the schedule.
+func (s Schedule) String() string {
+	return fmt.Sprintf("fault.Schedule{%q, %d specs}", s.Name, len(s.Specs))
+}

@@ -5,18 +5,23 @@ import (
 
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
+	"plbhec/internal/fault"
 	"plbhec/internal/starpu"
 )
 
-// runWithFailure executes MM on 2 machines and kills the given device at
-// failAt (simulated seconds).
-func runWithFailure(t *testing.T, s starpu.Scheduler, pick func(*cluster.Cluster) interface{ SetSpeedFactor(float64) }, failAt float64) *starpu.Report {
+// runWithFailure executes MM on 2 machines and kills the processing unit pu
+// at failAt (simulated seconds), expressed as a declarative fault schedule.
+// No retry policy is attached: surviving the death is entirely the
+// scheduler's job, exactly as in the paper's §VI scenario.
+func runWithFailure(t *testing.T, s starpu.Scheduler, pu int, failAt float64) *starpu.Report {
 	t.Helper()
 	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 4, NoiseSigma: cluster.DefaultNoiseSigma})
 	app := apps.NewMatMul(apps.MatMulConfig{N: 32768})
 	sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
-	dev := pick(clu)
-	if err := sess.ScheduleAt(failAt, func() { dev.SetSpeedFactor(0) }); err != nil {
+	fs := fault.Schedule{Name: "single-death", Specs: []fault.FaultSpec{
+		{Kind: fault.DeviceDeath, At: failAt, PU: pu},
+	}}
+	if err := fs.Apply(sess, clu); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := sess.Run(s)
@@ -33,49 +38,52 @@ func runWithFailure(t *testing.T, s starpu.Scheduler, pick func(*cluster.Cluster
 	return rep
 }
 
-func remoteGPU(clu *cluster.Cluster) interface{ SetSpeedFactor(float64) } {
-	return clu.Machines[1].GPUs[0]
-}
-
-func remoteCPU(clu *cluster.Cluster) interface{ SetSpeedFactor(float64) } {
-	return clu.Machines[1].CPU
-}
+// Processing-unit indices in the 2-machine Table I cluster.
+const (
+	puRemoteCPU = 2 // B/i7-920
+	puRemoteGPU = 3 // B/GTX 295
+)
 
 // TestFailoverPLBHeC: the paper's §VI fault-tolerance scenario — a device
 // becomes unavailable mid-run and the data is redistributed among the
 // remaining units.
 func TestFailoverPLBHeC(t *testing.T) {
-	rep := runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteGPU, 15)
+	rep := runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), puRemoteGPU, 15)
 	if rep.SchedulerStats["failures"] != 1 {
 		t.Errorf("failures = %g, want 1", rep.SchedulerStats["failures"])
 	}
 	// The dead GPU (PU 3 = B/GTX 295) must receive no tasks after death:
 	// every record on it must have been submitted before the failure.
 	for _, r := range rep.Records {
-		if r.PU == 3 && r.SubmitTime > 15 {
+		if r.PU == puRemoteGPU && r.SubmitTime > 15 {
 			t.Errorf("task submitted to failed unit at t=%.3f", r.SubmitTime)
 		}
+	}
+	// The fault injector reported the death to the session, so the report's
+	// resilience block must agree with the scheduler's own failure count.
+	if got := rep.Resilience[puRemoteGPU].Failovers; got != 1 {
+		t.Errorf("Resilience[%d].Failovers = %d, want 1", puRemoteGPU, got)
 	}
 }
 
 func TestFailoverPLBHeCCPUDeath(t *testing.T) {
-	runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteCPU, 20)
+	runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), puRemoteCPU, 20)
 }
 
 func TestFailoverGreedy(t *testing.T) {
-	runWithFailure(t, NewGreedy(Config{InitialBlockSize: 16}), remoteGPU, 15)
+	runWithFailure(t, NewGreedy(Config{InitialBlockSize: 16}), puRemoteGPU, 15)
 }
 
 func TestFailoverHDSS(t *testing.T) {
-	runWithFailure(t, NewHDSS(Config{InitialBlockSize: 16}), remoteGPU, 15)
+	runWithFailure(t, NewHDSS(Config{InitialBlockSize: 16}), puRemoteGPU, 15)
 }
 
 func TestFailoverAcosta(t *testing.T) {
-	runWithFailure(t, NewAcosta(Config{InitialBlockSize: 16}), remoteGPU, 15)
+	runWithFailure(t, NewAcosta(Config{InitialBlockSize: 16}), puRemoteGPU, 15)
 }
 
 // TestFailoverEarly kills a device during the modeling phase, before the
 // first distribution exists.
 func TestFailoverEarly(t *testing.T) {
-	runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), remoteGPU, 0.5)
+	runWithFailure(t, NewPLBHeC(Config{InitialBlockSize: 16}), puRemoteGPU, 0.5)
 }

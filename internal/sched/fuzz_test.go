@@ -6,6 +6,7 @@ import (
 
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
+	"plbhec/internal/fault"
 	"plbhec/internal/starpu"
 )
 
@@ -109,4 +110,68 @@ func TestSchedulerInvariantsFuzz(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzFaultSchedule feeds arbitrary bytes through fault.FromBytes into a
+// full simulated run: byte 0 picks the scheduler, the rest decode into a
+// fault schedule that is valid by construction. The runtime must never
+// panic, deadlock, or complete a unit twice — a run ending in a clean error
+// (every unit dead, retries exhausted, scheduler stalled) is tolerated, but
+// even then the partial record stream must stay at-most-once.
+func FuzzFaultSchedule(f *testing.F) {
+	// Corpus: each of the four schedulers, with fault bytes touching every
+	// kind (byte 1 of each 7-byte group selects the Kind modulo 6).
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 1, 10, 100, 20, 5, 0})
+	f.Add([]byte{2, 1, 2, 64, 200, 40, 0, 1, 4, 3, 128, 10, 80, 30, 1})
+	f.Add([]byte{3, 2, 0, 32, 255, 255, 255, 0, 5, 1, 16, 3, 3, 3, 1})
+	f.Add([]byte{0, 3, 3, 5, 5, 5, 5, 5, 1, 0, 200, 128, 64, 32, 0})
+	mks := []func() starpu.Scheduler{
+		func() starpu.Scheduler { return NewGreedy(Config{InitialBlockSize: 16}) },
+		func() starpu.Scheduler { return NewHDSS(Config{InitialBlockSize: 16}) },
+		func() starpu.Scheduler { return NewAcosta(Config{InitialBlockSize: 16}) },
+		func() starpu.Scheduler { return NewPLBHeC(Config{InitialBlockSize: 16}) },
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		const n = 4096
+		mk := mks[int(data[0])%len(mks)]
+		schedule := fault.FromBytes(data[1:], 4, 2, 0.5)
+		clu := cluster.TableI(cluster.Config{
+			Machines: 2, Seed: 1, NoiseSigma: cluster.DefaultNoiseSigma,
+		})
+		app := apps.NewMatMul(apps.MatMulConfig{N: n})
+		sess := starpu.NewSimSession(clu, app, starpu.SimConfig{
+			Retry: starpu.DefaultRetryPolicy(),
+		})
+		if err := schedule.Apply(sess, clu); err != nil {
+			t.Fatalf("decoded schedule rejected: %v\nschedule: %v", err, schedule)
+		}
+		rep, err := sess.Run(mk())
+		recs := sess.Records()
+		if rep != nil {
+			recs = rep.Records
+		}
+		covered := make([]int, n)
+		for _, r := range recs {
+			if r.Lo < 0 || r.Hi > n || r.Lo >= r.Hi {
+				t.Fatalf("bad range [%d,%d)", r.Lo, r.Hi)
+			}
+			for i := r.Lo; i < r.Hi; i++ {
+				if covered[i]++; covered[i] > 1 {
+					t.Fatalf("unit %d completed twice (run err: %v)", i, err)
+				}
+			}
+		}
+		if err != nil {
+			return // a clean failure is acceptable under arbitrary faults
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("unit %d processed %d times", i, c)
+			}
+		}
+	})
 }

@@ -601,7 +601,9 @@ func (deadCurve) Eval(x float64) float64 { return math.Inf(1) }
 func (deadCurve) Deriv(x float64) float64 { return 0 }
 
 // scanFailures records newly failed units and reports whether any unit
-// died since the last scan.
+// died since the last scan. The session deduplicates the EvFailover
+// emission (NoteDeviceDown), so a death reported first by a fault injector
+// is not counted again here.
 func (p *PLBHeC) scanFailures(s *starpu.Session) bool {
 	changed := false
 	for i, pu := range s.PUs() {
@@ -610,9 +612,7 @@ func (p *PLBHeC) scanFailures(s *starpu.Session) bool {
 			p.share[i] = 0
 			p.blockUnits[i] = 0
 			p.stats.failures++
-			s.Telemetry().Emit(telemetry.Event{
-				Kind: telemetry.EvFailover, Time: s.Now(), PU: i, Name: pu.Name(),
-			})
+			s.NoteDeviceDown(i)
 			changed = true
 		}
 	}

@@ -114,7 +114,7 @@ func TestRelatedSchedulersSurviveFailure(t *testing.T) {
 		func() starpu.Scheduler { return NewWeightedFactoring(Config{InitialBlockSize: 8}, nil) },
 		func() starpu.Scheduler { s := NewStaticProfile(rates); s.Chunks = 8; return s },
 	} {
-		runWithFailure(t, mk(), remoteGPU, 15)
+		runWithFailure(t, mk(), puRemoteGPU, 15)
 	}
 }
 

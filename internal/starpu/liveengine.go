@@ -37,7 +37,7 @@ type liveEngine struct {
 	kernel   LiveKernel
 	start    time.Time
 	workers  []chan liveAssign
-	complete chan TaskRecord
+	complete chan liveDone
 	specs    []LiveWorkerSpec
 	// queueBusy accumulates, per worker, the time blocks spent waiting in
 	// the worker's channel between submission and pickup. Written only on
@@ -49,9 +49,19 @@ type liveEngine struct {
 }
 
 type liveAssign struct {
-	seq    int
-	lo, hi int64
-	submit float64
+	seq     int
+	lo, hi  int64
+	submit  float64
+	retries int
+}
+
+// liveDone is one worker's completion report: the finished record, or — when
+// the worker's device was failed at pickup under a retry policy — a bounce
+// that the driving goroutine requeues.
+type liveDone struct {
+	rec     TaskRecord
+	failed  bool
+	retries int
 }
 
 // LiveConfig configures a live session.
@@ -63,6 +73,12 @@ type LiveConfig struct {
 	// the Name is required in live mode.
 	Profile device.KernelProfile
 	AppName string
+	// Retry, when non-nil, enables runtime failover: blocks picked up by a
+	// worker whose device is marked failed bounce back and are requeued on
+	// a survivor. Real computation cannot be interrupted mid-kernel, so a
+	// block already executing when its device is failed still completes.
+	// Nil preserves the legacy behavior (failures are ignored entirely).
+	Retry *RetryPolicy
 }
 
 // NewLiveSession builds a session that runs kernel on real goroutine
@@ -89,13 +105,14 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		pus:     clu.PUs(),
 		profile: cfg.Profile,
 		appName: cfg.AppName,
+		retry:   cfg.Retry.normalized(),
 	}
 	s.initCommon(cfg.TotalUnits)
 	le := &liveEngine{
 		session:   s,
 		kernel:    kernel,
 		start:     time.Now(),
-		complete:  make(chan TaskRecord, 4*len(cfg.Workers)),
+		complete:  make(chan liveDone, 4*len(cfg.Workers)),
 		specs:     cfg.Workers,
 		queueBusy: make([]float64, len(cfg.Workers)),
 	}
@@ -154,13 +171,44 @@ func (e *liveEngine) executeParallel(lo, hi int64, par int) {
 	wg.Wait()
 }
 
-func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64) {
-	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now()}
+func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, retries int) {
+	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries}
+}
+
+// abortInFlight implements engine. The live engine cannot interrupt a real
+// kernel mid-execution; failures are instead detected at pickup (see
+// workerLoop), so blocks still queued on the failed worker bounce back as
+// they are reached.
+func (e *liveEngine) abortInFlight(pu int) {}
+
+// relaunchAfter implements engine. Backoff is not modeled in wall-clock
+// time (sleeping the driving goroutine would also stall every healthy
+// completion); the block is resubmitted immediately. The send must not
+// block drive — if the target worker's queue is full, a goroutine finishes
+// the handoff while completions keep draining.
+func (e *liveEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int) {
+	a := liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries}
+	select {
+	case e.workers[pu.ID] <- a:
+	default:
+		go func() { e.workers[pu.ID] <- a }()
+	}
 }
 
 func (e *liveEngine) drive() error {
 	for e.session.inflight > 0 {
-		rec := <-e.complete
+		d := <-e.complete
+		if d.failed {
+			e.session.NoteDeviceDown(d.rec.PU)
+			if !e.session.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
+				// The block cannot be requeued (retries exhausted or no
+				// survivors): the run is failing, settle its in-flight
+				// account so the loop can drain the rest and exit.
+				e.session.inflight--
+			}
+			continue
+		}
+		rec := d.rec
 		if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
 			e.queueBusy[rec.PU] += wait
 			e.session.emitLink(e.queueName[rec.PU],
@@ -180,7 +228,17 @@ func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 	if par < 1 {
 		par = 1
 	}
+	dev := e.session.pus[id].Dev
+	bounce := e.session.retry != nil
 	for a := range ch {
+		if bounce && dev.Failed() {
+			e.complete <- liveDone{
+				rec: TaskRecord{Seq: a.seq, PU: id, Lo: a.lo, Hi: a.hi,
+					Units: a.hi - a.lo, SubmitTime: a.submit},
+				failed: true, retries: a.retries,
+			}
+			continue
+		}
 		t0 := e.now()
 		e.executeParallel(a.lo, a.hi, par)
 		t1 := e.now()
@@ -188,10 +246,10 @@ func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 			time.Sleep(time.Duration(float64(time.Second) * (slow - 1) * (t1 - t0)))
 		}
 		t2 := e.now()
-		e.complete <- TaskRecord{
+		e.complete <- liveDone{rec: TaskRecord{
 			Seq: a.seq, PU: id, Lo: a.lo, Hi: a.hi, Units: a.hi - a.lo,
 			SubmitTime: a.submit, TransferStart: a.submit, TransferEnd: t0,
 			ExecStart: t0, ExecEnd: t2,
-		}
+		}}
 	}
 }

@@ -1,0 +1,143 @@
+package starpu
+
+import (
+	"fmt"
+
+	"plbhec/internal/telemetry"
+)
+
+// This file is the session side of the runtime's failover machinery: fault
+// observation (down/up transitions, deduplicated across observers), and the
+// requeue path that moves blocks off failed units under a RetryPolicy. The
+// engine side — aborting in-flight work and relaunching — lives in
+// simengine.go / liveengine.go behind the engine interface.
+
+// NoteDeviceDown records that the unit's device has been observed failed.
+// It returns true the first time a given down-transition is reported —
+// exactly then EvFailover is emitted — and false for repeat observations,
+// so the runtime, the fault injector, and a scheduler's own failure scan
+// can all report the same death without double-counting.
+func (s *Session) NoteDeviceDown(id int) bool {
+	if id < 0 || id >= len(s.pus) || s.downSeen[id] {
+		return false
+	}
+	s.downSeen[id] = true
+	s.resilience[id].Failovers++
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvFailover, Time: s.eng.now(), PU: id, Name: s.pus[id].Name(),
+		})
+	}
+	return true
+}
+
+// noteDeviceUp records a recovery: the unit's current failure episode ends,
+// its consecutive-failure count resets, and any blacklist is lifted (a
+// recovered brown-out restores the unit as a requeue target).
+func (s *Session) noteDeviceUp(id int) {
+	s.downSeen[id] = false
+	s.consecFails[id] = 0
+	s.blacklist[id] = false
+	s.resilience[id].Blacklisted = false
+	s.resilience[id].Recoveries++
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvRecovery, Time: s.eng.now(), PU: id, Name: s.pus[id].Name(),
+		})
+	}
+}
+
+// DeviceStateChanged tells the runtime that the unit's availability may
+// have changed; fault injectors call it right after mutating the device's
+// speed factor. On a down-transition the unit's in-flight blocks are
+// aborted and requeued (when a RetryPolicy is attached); on an
+// up-transition the unit is restored as a requeue target. Idempotent.
+func (s *Session) DeviceStateChanged(id int) {
+	if id < 0 || id >= len(s.pus) {
+		return
+	}
+	if s.pus[id].Dev.Failed() {
+		s.NoteDeviceDown(id)
+		if s.retry != nil {
+			s.eng.abortInFlight(id)
+		}
+	} else if s.downSeen[id] {
+		s.noteDeviceUp(id)
+	}
+}
+
+// Blacklisted reports whether the runtime stopped routing requeued blocks
+// to the unit after repeated failures.
+func (s *Session) Blacklisted(id int) bool {
+	return id >= 0 && id < len(s.pus) && s.blacklist[id]
+}
+
+// noteFailure charges one failure (launch failure or in-flight abort) to
+// the unit and blacklists it once the consecutive count reaches the
+// policy's threshold.
+func (s *Session) noteFailure(id int) {
+	s.resilience[id].Failures++
+	s.consecFails[id]++
+	if s.retry != nil && !s.blacklist[id] && s.consecFails[id] >= s.retry.BlacklistAfter {
+		s.blacklist[id] = true
+		s.resilience[id].Blacklisted = true
+		if s.tel != nil {
+			s.tel.Emit(telemetry.Event{
+				Kind: telemetry.EvBlacklist, Time: s.eng.now(), PU: id, Name: s.pus[id].Name(),
+			})
+		}
+	}
+}
+
+// requeueBlock moves a block off fromPU after a failure there: it picks the
+// least-loaded surviving unit and relaunches after the policy's backoff.
+// retries is how many times the block has been requeued before this call.
+// It returns false when the block could not be requeued (retries exhausted,
+// or no eligible target) — the run then fails with ErrFailedDevice and the
+// block never completes, so callers accounting in-flight work must settle
+// it themselves.
+func (s *Session) requeueBlock(fromPU, seq int, lo, hi int64, retries int) bool {
+	s.noteFailure(fromPU)
+	s.resilience[fromPU].Requeues++
+	s.inflightPU[fromPU]--
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvRequeue, Time: s.eng.now(), PU: fromPU, Seq: seq, Units: hi - lo,
+		})
+	}
+	if s.retry == nil {
+		s.fail(fmt.Errorf("starpu: block %d requeued without a retry policy: %w", seq, ErrFailedDevice))
+		return false
+	}
+	next := retries + 1
+	if next > s.retry.MaxRetries {
+		s.fail(fmt.Errorf("starpu: block %d (%d units) exhausted %d retries, last on %s: %w",
+			seq, hi-lo, s.retry.MaxRetries, s.pus[fromPU].Name(), ErrFailedDevice))
+		return false
+	}
+	target := s.pickRequeueTarget(fromPU)
+	if target < 0 {
+		s.fail(fmt.Errorf("starpu: block %d (%d units): no surviving unit to requeue onto: %w",
+			seq, hi-lo, ErrFailedDevice))
+		return false
+	}
+	s.inflightPU[target]++
+	s.eng.relaunchAfter(s.retry.backoff(next), s.pus[target], seq, lo, hi, next)
+	return true
+}
+
+// pickRequeueTarget returns the alive, non-blacklisted unit with the fewest
+// blocks in flight (lowest ID on ties — deterministic), excluding the unit
+// the block just failed on; -1 when none qualifies.
+func (s *Session) pickRequeueTarget(exclude int) int {
+	best := -1
+	for i, pu := range s.pus {
+		if i == exclude || s.blacklist[i] || pu.Dev.Failed() {
+			continue
+		}
+		if best < 0 || s.inflightPU[i] < s.inflightPU[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -37,6 +37,25 @@ type Session struct {
 	// wrapped ctx.Err() from Run. Nil means never cancelled.
 	ctx context.Context
 
+	// retry, when non-nil, enables the runtime failover machinery: blocks
+	// on failed units are aborted and requeued instead of failing the run.
+	// Always a normalized copy (see RetryPolicy.normalized); nil keeps the
+	// legacy fail-fast behavior bit-for-bit.
+	retry *RetryPolicy
+	// resilience accumulates each unit's fault history for the Report.
+	resilience []PUResilience
+	// blacklist marks units excluded from requeue targeting; consecFails
+	// counts failures since the unit's last recovery and drives it.
+	blacklist   []bool
+	consecFails []int
+	// downSeen marks units whose current failure was already noted, so
+	// EvFailover fires once per down-transition however many observers
+	// (runtime, scheduler, fault injector) report it.
+	downSeen []bool
+	// inflightPU counts blocks currently in flight per unit; requeueing
+	// targets the least-loaded survivor.
+	inflightPU []int
+
 	records       []TaskRecord
 	distributions []Distribution
 	sched         Scheduler
@@ -118,6 +137,7 @@ func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
 	s.cursor = hi
 	s.remaining -= n
 	s.inflight++
+	s.inflightPU[pu.ID]++
 	seq := s.seq
 	s.seq++
 	if s.tel != nil {
@@ -126,7 +146,7 @@ func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
 			PU: pu.ID, Seq: seq, Units: n,
 		})
 	}
-	s.eng.launch(pu, seq, lo, hi, s.masterFree)
+	s.eng.launch(pu, seq, lo, hi, s.masterFree, 0)
 	return n
 }
 
@@ -202,6 +222,7 @@ func (s *Session) checkCtx() {
 // onComplete is invoked by the engine, serialized, for every finished block.
 func (s *Session) onComplete(rec TaskRecord) {
 	s.inflight--
+	s.inflightPU[rec.PU]--
 	s.records = append(s.records, rec)
 	if s.tel != nil {
 		s.tel.Emit(telemetry.Event{
@@ -267,12 +288,19 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 		}
 	}
 	rep.LinkBusy = s.eng.linkBusy()
+	rep.Resilience = append([]PUResilience(nil), s.resilience...)
 	return rep, nil
 }
 
 func (s *Session) initCommon(total int64) {
 	s.total = total
 	s.remaining = total
+	n := len(s.pus)
+	s.resilience = make([]PUResilience, n)
+	s.blacklist = make([]bool, n)
+	s.consecFails = make([]int, n)
+	s.downSeen = make([]bool, n)
+	s.inflightPU = make([]int, n)
 	// Pre-size the record log so steady-state completions append without
 	// growth copies: a run issues a handful of probing rounds plus a few
 	// execution blocks and re-requests per unit. 64 records per unit (~5 KB

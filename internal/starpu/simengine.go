@@ -34,23 +34,39 @@ type simEngine struct {
 	nicRes    []*sim.Resource // per machine, cluster order (for linkBusy)
 	pcieRes   []*sim.Resource
 	freeComps []*simCompletion // completion-payload pool
+	// outstanding tracks pending completions so a device failure can abort
+	// the blocks in flight on it. Only maintained when a RetryPolicy is
+	// attached — the default path keeps its zero-bookkeeping hot loop.
+	outstanding []*simCompletion
 }
 
 // simCompletion is the pooled completion payload: one block's TaskRecord
 // plus the engine to hand it back to. Firing returns the payload to the
 // pool before invoking the (potentially re-entrant) scheduler callback.
 type simCompletion struct {
-	eng *simEngine
-	rec TaskRecord
+	eng     *simEngine
+	rec     TaskRecord
+	retries int
+	// aborted marks a completion whose block was requeued after a device
+	// failure; its already-scheduled event then only recycles the payload.
+	aborted bool
 }
 
 // Fire implements sim.Handler.
 func (c *simCompletion) Fire() {
 	e := c.eng
 	rec := c.rec
+	aborted := c.aborted
+	if e.session.retry != nil {
+		e.dropOutstanding(c)
+	}
 	// Recycle first: the scheduler callback below may launch new blocks,
 	// which pop from the pool — including this very payload.
+	c.aborted = false
 	e.freeComps = append(e.freeComps, c)
+	if aborted {
+		return // the block was requeued when its device died
+	}
 	e.session.onComplete(rec)
 }
 
@@ -59,6 +75,10 @@ type SimConfig struct {
 	// Overheads charges scheduler computations to virtual time. The zero
 	// value means DefaultOverheads; use NoOverheads to disable.
 	Overheads *OverheadModel
+	// Retry, when non-nil, enables runtime failover: blocks in flight on a
+	// failing unit are requeued per the policy instead of erroring the run.
+	// See RetryPolicy; nil preserves the legacy fail-fast behavior exactly.
+	Retry *RetryPolicy
 }
 
 // NoOverheads disables scheduler-overhead charging (for ablations).
@@ -77,6 +97,7 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 		appName:   app.Name(),
 		overheads: ov,
 		chargeOn:  true,
+		retry:     cfg.Retry.normalized(),
 	}
 	s.initCommon(app.TotalUnits())
 	n := len(s.pus)
@@ -144,7 +165,7 @@ func (e *simEngine) linkBusy() map[string]float64 {
 // reserving each resource in order: NIC (remote machines) → PCIe (GPUs) →
 // the processing unit itself. All reservations are computed analytically at
 // submission; a single pooled event fires at kernel completion.
-func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64) {
+func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, retries int) {
 	units := hi - lo
 	rec := TaskRecord{Seq: seq, PU: pu.ID, Lo: lo, Hi: hi, Units: units, SubmitTime: e.eng.Now()}
 
@@ -172,10 +193,18 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 
 	exec := pu.Dev.ExecSeconds(prof, float64(units))
 	if exec != exec || exec < 0 || exec > 1e18 {
-		// A failed (speed factor 0) device would never complete; schedulers
-		// must stop assigning to failed devices rather than hang the run.
-		// The block's completion event is never scheduled, so the queue
-		// drains and Run returns the violation.
+		// A failed (speed factor 0) device would never complete. With a
+		// retry policy the block is requeued onto a survivor; otherwise
+		// schedulers must stop assigning to failed devices rather than
+		// hang the run — the completion event is never scheduled, so the
+		// queue drains and Run returns the violation.
+		if e.session.retry != nil {
+			if pu.Dev.Failed() {
+				e.session.NoteDeviceDown(pu.ID)
+			}
+			e.session.requeueBlock(pu.ID, seq, lo, hi, retries)
+			return
+		}
 		e.session.fail(fmt.Errorf("starpu: block %d (%d units) launched on %s: %w",
 			seq, units, pu.Name(), ErrFailedDevice))
 		return
@@ -192,5 +221,42 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 		c = &simCompletion{eng: e}
 	}
 	c.rec = rec
+	c.retries = retries
+	if e.session.retry != nil {
+		e.outstanding = append(e.outstanding, c)
+	}
 	e.eng.Schedule(end, c)
+}
+
+// dropOutstanding removes c from the outstanding list, preserving launch
+// order so abort-time requeue decisions stay reproducible.
+func (e *simEngine) dropOutstanding(c *simCompletion) {
+	for i, o := range e.outstanding {
+		if o == c {
+			e.outstanding = append(e.outstanding[:i], e.outstanding[i+1:]...)
+			return
+		}
+	}
+}
+
+// abortInFlight implements engine: every block pending on pu whose kernel
+// has not finished by now is marked aborted (its completion event becomes a
+// recycle-only no-op) and requeued at the failure time.
+func (e *simEngine) abortInFlight(pu int) {
+	now := e.eng.Now()
+	for _, c := range e.outstanding {
+		if c.aborted || c.rec.PU != pu || c.rec.ExecEnd <= now {
+			continue
+		}
+		c.aborted = true
+		e.session.requeueBlock(pu, c.rec.Seq, c.rec.Lo, c.rec.Hi, c.retries)
+	}
+}
+
+// relaunchAfter implements engine: the requeued block re-enters launch on
+// its new unit after the backoff delay.
+func (e *simEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int) {
+	e.eng.At(e.eng.Now()+delay, func() {
+		e.launch(pu, seq, lo, hi, 0, retries)
+	})
 }

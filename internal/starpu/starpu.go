@@ -92,6 +92,85 @@ func DefaultOverheads() OverheadModel {
 	return OverheadModel{FitSeconds: 2e-3, SolveSeconds: 170e-3}
 }
 
+// RetryPolicy configures the runtime's resilience to device failures. When
+// a policy is attached (SimConfig.Retry / LiveConfig.Retry), blocks in
+// flight on a unit that fails are aborted and requeued onto a surviving
+// unit instead of wedging or failing the session, and units that keep
+// failing are blacklisted as requeue targets. A nil policy (the default)
+// disables all of it: failures surface as ErrFailedDevice exactly as
+// before, which keeps scheduler-driven failover behavior — and the golden
+// record streams — bit-identical.
+type RetryPolicy struct {
+	// MaxRetries bounds how many times one block may be requeued before
+	// the run fails with ErrFailedDevice. <= 0 means the default 3.
+	MaxRetries int
+	// BackoffSeconds is the delay before the first relaunch of a requeued
+	// block (engine seconds). <= 0 or non-finite means the default 10 ms.
+	BackoffSeconds float64
+	// BackoffFactor multiplies the delay on each further retry of the same
+	// block. Values < 1 (or non-finite) mean the default 2.
+	BackoffFactor float64
+	// BlacklistAfter is how many consecutive failures charge a unit before
+	// it stops receiving requeued blocks. A recovery (brown-out ending)
+	// resets the count and lifts the blacklist. <= 0 means the default 2.
+	BlacklistAfter int
+}
+
+// DefaultRetryPolicy returns the policy used by the chaos experiments:
+// 3 retries, 10 ms initial backoff doubling per retry, blacklist after 2
+// consecutive failures.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxRetries: 3, BackoffSeconds: 0.01, BackoffFactor: 2, BlacklistAfter: 2}
+}
+
+// normalized returns a copy with every zero/invalid field replaced by its
+// default, so sessions never consult a half-filled policy.
+func (p *RetryPolicy) normalized() *RetryPolicy {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	if q.MaxRetries <= 0 {
+		q.MaxRetries = 3
+	}
+	if !(q.BackoffSeconds > 0) || q.BackoffSeconds > 1e18 {
+		q.BackoffSeconds = 0.01
+	}
+	if !(q.BackoffFactor >= 1) || q.BackoffFactor > 1e6 {
+		q.BackoffFactor = 2
+	}
+	if q.BlacklistAfter <= 0 {
+		q.BlacklistAfter = 2
+	}
+	return &q
+}
+
+// backoff returns the relaunch delay for the given retry ordinal (1-based).
+func (p *RetryPolicy) backoff(retry int) float64 {
+	d := p.BackoffSeconds
+	for i := 1; i < retry; i++ {
+		d *= p.BackoffFactor
+	}
+	return d
+}
+
+// PUResilience is one unit's fault/recovery history over a run.
+type PUResilience struct {
+	// Failovers counts down-transitions observed on the unit (a brown-out
+	// that ends and re-fires counts each time).
+	Failovers int64
+	// Recoveries counts up-transitions (failed unit observed healthy).
+	Recoveries int64
+	// Requeues counts blocks moved off this unit after a failure.
+	Requeues int64
+	// Failures counts launch failures and in-flight aborts charged to the
+	// unit (drives blacklisting).
+	Failures int64
+	// Blacklisted reports whether the unit ended the run excluded from
+	// requeue targeting.
+	Blacklisted bool
+}
+
 // Distribution is a block-size split recorded by a scheduler (Fig. 6).
 type Distribution struct {
 	Label string    // e.g. "modeling-phase"
@@ -115,6 +194,9 @@ type Report struct {
 	// LinkBusy reports the total occupied seconds of each communication
 	// link ("B/nic", "B/pcie", ...) over the run — simulation engine only.
 	LinkBusy map[string]float64
+	// Resilience reports each unit's fault history (cluster order). All
+	// zeros when no fault occurred or no RetryPolicy was attached.
+	Resilience []PUResilience
 }
 
 // engine abstracts the two execution backends.
@@ -124,8 +206,17 @@ type engine interface {
 	// earliest, and delivers the completed record to the session's
 	// onComplete, serialized with all other scheduler callbacks. Engines
 	// call the session directly instead of taking a callback so the hot
-	// path never materializes a per-launch method value.
-	launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64)
+	// path never materializes a per-launch method value. retries is how
+	// many times this block has already been requeued (0 on first launch).
+	launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, retries int)
+	// abortInFlight cancels every block currently in flight on pu and
+	// requeues it through the session's retry policy. Only called when a
+	// policy is attached; engines that cannot interrupt work (live) treat
+	// it as a no-op and detect the failure at pickup instead.
+	abortInFlight(pu int)
+	// relaunchAfter re-launches a requeued block on pu after delay engine
+	// seconds.
+	relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int)
 	// drive processes work until no launched block remains unfinished.
 	drive() error
 	// at schedules fn at absolute engine time t; returns false if the

@@ -169,6 +169,12 @@ func (p *PerfettoSink) Write(w io.Writer) error {
 			instant(ev, "failover: "+ev.Name, map[string]any{"pu": ev.PU})
 		case EvKeepAlive:
 			instant(ev, "keep-alive", map[string]any{"pu": ev.PU})
+		case EvRequeue:
+			instant(ev, "requeue", map[string]any{"pu": ev.PU, "seq": ev.Seq, "units": ev.Units})
+		case EvRecovery:
+			instant(ev, "recovery: "+ev.Name, map[string]any{"pu": ev.PU})
+		case EvBlacklist:
+			instant(ev, "blacklist: "+ev.Name, map[string]any{"pu": ev.PU})
 		}
 	}
 	closePhase(maxTs)

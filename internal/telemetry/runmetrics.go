@@ -30,6 +30,8 @@ type RunMetrics struct {
 	distChanges                *Counter
 	l1Delta                    *Gauge
 	failovers, keepAlives      *Counter
+	requeues, recoveries       *Counter
+	blacklists                 *Counter
 
 	lastShares []float64
 	phaseCodes map[string]int
@@ -68,6 +70,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_rebalances_total", "Triggered redistributions by cause")
 	reg.Help("plbhec_failovers_total", "Processing units observed failed")
 	reg.Help("plbhec_keepalives_total", "Stall-prevention assignments")
+	reg.Help("plbhec_requeues_total", "Blocks moved off failed units by the retry machinery")
+	reg.Help("plbhec_recoveries_total", "Failed processing units observed healthy again")
+	reg.Help("plbhec_blacklists_total", "Processing units excluded from requeueing after repeated failures")
 
 	n := len(puNames)
 	m.submitted = make([]*Counter, n)
@@ -101,6 +106,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	m.l1Delta = reg.Gauge("plbhec_distribution_l1_delta")
 	m.failovers = reg.Counter("plbhec_failovers_total")
 	m.keepAlives = reg.Counter("plbhec_keepalives_total")
+	m.requeues = reg.Counter("plbhec_requeues_total")
+	m.recoveries = reg.Counter("plbhec_recoveries_total")
+	m.blacklists = reg.Counter("plbhec_blacklists_total")
 	return m
 }
 
@@ -178,5 +186,11 @@ func (m *RunMetrics) Consume(ev Event) {
 		m.failovers.Inc()
 	case EvKeepAlive:
 		m.keepAlives.Inc()
+	case EvRequeue:
+		m.requeues.Inc()
+	case EvRecovery:
+		m.recoveries.Inc()
+	case EvBlacklist:
+		m.blacklists.Inc()
 	}
 }

@@ -57,6 +57,15 @@ const (
 	EvFailover
 	// EvKeepAlive marks a stall-prevention assignment: Time, PU.
 	EvKeepAlive
+	// EvRequeue marks a block moved off a failed unit by the runtime's
+	// retry machinery: Time, PU (the unit it left), Seq, Units.
+	EvRequeue
+	// EvRecovery marks a previously failed unit observed healthy again
+	// (brown-out end): Time, PU, Name (unit name).
+	EvRecovery
+	// EvBlacklist marks a unit excluded from requeue targeting after
+	// repeated failures: Time, PU, Name (unit name).
+	EvBlacklist
 )
 
 // String names the kind for sinks and debug output.
@@ -84,6 +93,12 @@ func (k EventKind) String() string {
 		return "failover"
 	case EvKeepAlive:
 		return "keep-alive"
+	case EvRequeue:
+		return "requeue"
+	case EvRecovery:
+		return "recovery"
+	case EvBlacklist:
+		return "blacklist"
 	}
 	return "unknown"
 }
