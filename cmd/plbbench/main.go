@@ -9,6 +9,7 @@
 //	plbbench -quick           # reduced sizes and repetitions
 //	plbbench -csv results     # also emit CSV files under results/
 //	plbbench -jobs 4          # fan cells and repetitions over 4 workers
+//	plbbench -cell-timeout 1m # bound each repetition's wall time
 //	plbbench -list            # list experiments
 //	plbbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -47,6 +48,7 @@ func run() int {
 		seeds   = flag.Int("seeds", 0, "repetitions per cell (0: the paper's 10)")
 		quick   = flag.Bool("quick", false, "reduced input sizes and repetitions")
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "worker-pool size for cells and repetitions (1: sequential)")
+		cellTO  = flag.Duration("cell-timeout", 0, "per-repetition wall-time bound; expired repetitions are recorded as timed-out (0: unbounded)")
 		listen  = flag.String("listen", "", "serve live progress gauges on this address (e.g. :9090/metrics)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -108,7 +110,7 @@ func run() int {
 
 	opts := expt.Options{
 		Out: os.Stdout, CSVDir: *csvDir, Seeds: *seeds, Quick: *quick,
-		Jobs: *jobs, Ctx: ctx,
+		Jobs: *jobs, Ctx: ctx, CellTimeout: *cellTO,
 	}
 	if *listen != "" {
 		reg := telemetry.NewRegistry()

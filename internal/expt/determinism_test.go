@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+	"time"
+
+	"plbhec/internal/starpu"
+)
+
+// hashReport folds a repetition's full TaskRecord stream into an FNV-1a
+// hash, floats by IEEE-754 bit pattern — the same bit-exact comparison the
+// repo's golden tests use.
+func hashReport(rep *starpu.Report) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, r := range rep.Records {
+		word(uint64(r.Seq))
+		word(uint64(r.PU))
+		word(uint64(r.Lo))
+		word(uint64(r.Hi))
+		word(uint64(r.Units))
+		word(math.Float64bits(r.SubmitTime))
+		word(math.Float64bits(r.TransferStart))
+		word(math.Float64bits(r.TransferEnd))
+		word(math.Float64bits(r.ExecStart))
+		word(math.Float64bits(r.ExecEnd))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestRetryBackoffJobsDeterminism: a faulted scenario — device death with
+// the default retry policy, so aborted blocks requeue with backoff — must
+// produce bit-identical record streams per seed whether the repetitions run
+// sequentially or fan out over a parallel pool. This is the determinism
+// contract of the backoff machinery under concurrent requeues.
+func TestRetryBackoffJobsDeterminism(t *testing.T) {
+	const seeds, size, horizon = 4, 4096, 0.2
+	death := chaosScenarios()[1] // GPU death mid-run
+	sweep := func(jobs int) []string {
+		r := NewRunner(context.Background(), jobs)
+		hashes := make([]string, seeds)
+		err := r.forEach(seeds, func(i int) error {
+			rep, err := runChaosRep(r, size, death, PLBHeC, i, horizon, starpu.DefaultSpeculationPolicy())
+			if err != nil {
+				return err
+			}
+			if rep == nil {
+				return fmt.Errorf("seed %d: run did not survive the schedule", i)
+			}
+			hashes[i] = hashReport(rep)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hashes
+	}
+	seq := sweep(1)
+	par := sweep(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("seed %d: -jobs 1 hash %s != -jobs 4 hash %s", i, seq[i], par[i])
+		}
+	}
+	// And run-to-run at the same parallelism.
+	if again := sweep(4); fmt.Sprint(again) != fmt.Sprint(par) {
+		t.Errorf("parallel sweep not stable run-to-run: %v then %v", par, again)
+	}
+}
+
+// TestRunCellTimeout: a cell deadline far below any realistic repetition
+// time cancels every repetition, which must be recorded as timed-out —
+// not hang, not fail the sweep.
+func TestRunCellTimeout(t *testing.T) {
+	r := NewRunner(context.Background(), 2)
+	r.SetCellTimeout(time.Nanosecond)
+	sc := Scenario{Kind: MM, Size: 16384, Machines: 2, Seeds: 3, BaseSeed: 1}
+	res, err := r.RunCell(sc, PLBHeC)
+	if err != nil {
+		t.Fatalf("timed-out cell must not fail the sweep: %v", err)
+	}
+	if res.TimedOut != 3 {
+		t.Errorf("TimedOut = %d, want 3", res.TimedOut)
+	}
+	if res.Makespan.N != 0 {
+		t.Errorf("timed-out repetitions leaked %d makespan samples", res.Makespan.N)
+	}
+}
+
+// TestRunCellNoTimeoutUnchanged: with no cell timeout configured the result
+// reports zero timeouts and full samples.
+func TestRunCellNoTimeoutUnchanged(t *testing.T) {
+	r := NewRunner(context.Background(), 2)
+	sc := Scenario{Kind: MM, Size: 2048, Machines: 2, Seeds: 2, BaseSeed: 1}
+	res, err := r.RunCell(sc, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut != 0 {
+		t.Errorf("TimedOut = %d, want 0", res.TimedOut)
+	}
+	if res.Makespan.N != 2 {
+		t.Errorf("Makespan.N = %d, want 2", res.Makespan.N)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"plbhec/internal/telemetry"
 )
@@ -26,6 +27,11 @@ type Options struct {
 	// Metrics optionally receives the expt_cells_active / expt_cells_done /
 	// expt_cell_panics progress gauges.
 	Metrics *telemetry.Registry
+	// CellTimeout bounds each repetition's wall time (0: unbounded). A
+	// repetition that exceeds it is cancelled and recorded in
+	// Result.TimedOut instead of hanging the sweep. plbbench wires
+	// -cell-timeout here.
+	CellTimeout time.Duration
 
 	// pool is the shared runner RunAll threads through every experiment so
 	// one -jobs bound governs the whole sweep.
@@ -40,6 +46,7 @@ func (o Options) runner() *Runner {
 	}
 	r := NewRunner(o.Ctx, o.Jobs)
 	r.AttachMetrics(o.Metrics)
+	r.SetCellTimeout(o.CellTimeout)
 	return r
 }
 

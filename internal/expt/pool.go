@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"plbhec/internal/telemetry"
 )
@@ -39,6 +40,12 @@ type Runner struct {
 	// sequential execution on the token it already holds.
 	sem chan struct{}
 
+	// cellTimeout bounds each repetition's wall time: when > 0, RunCell
+	// wraps the session context in a deadline and records a repetition
+	// that blows it as timed-out instead of hanging the sweep (or failing
+	// it — a stuck cell is a data point, not a harness error).
+	cellTimeout time.Duration
+
 	cellsActive *telemetry.Gauge
 	cellsDone   *telemetry.Gauge
 	cellPanics  *telemetry.Gauge
@@ -64,6 +71,11 @@ func (r *Runner) Jobs() int { return r.jobs }
 
 // Context returns the runner's cancellation context (never nil).
 func (r *Runner) Context() context.Context { return r.ctx }
+
+// SetCellTimeout bounds each repetition's wall time (0 or negative: no
+// bound). A repetition that exceeds it has its session context cancelled
+// and is recorded in Result.TimedOut rather than aborting the sweep.
+func (r *Runner) SetCellTimeout(d time.Duration) { r.cellTimeout = d }
 
 // AttachMetrics publishes the runner's progress gauges on reg:
 //

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"plbhec/internal/metrics"
@@ -35,6 +36,12 @@ type Result struct {
 	// LastReport is the final repetition's full report, for Gantt and
 	// trace rendering.
 	LastReport *starpu.Report
+
+	// TimedOut counts repetitions cancelled by the runner's cell timeout
+	// (-cell-timeout). They contribute no samples to the aggregates above;
+	// a cell where every repetition timed out reports zero-valued
+	// summaries and a nil LastReport.
+	TimedOut int
 }
 
 // RunCell executes one (scenario, scheduler) cell over all repetitions,
@@ -56,6 +63,7 @@ type repOutcome struct {
 	puIdle     []float64
 	schedStats map[string]float64
 	report     *starpu.Report
+	timedOut   bool
 }
 
 // RunCell executes one (scenario, scheduler) cell, fanning the repetitions
@@ -79,13 +87,26 @@ func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 			cfg.Overheads = starpu.NoOverheads()
 		}
 		sess := starpu.NewSimSession(clu, app, cfg)
-		sess.SetContext(r.ctx)
+		ctx := r.ctx
+		if r.cellTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(r.ctx, r.cellTimeout)
+			defer cancel()
+		}
+		sess.SetContext(ctx)
 		s, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
 		if err != nil {
 			return err
 		}
 		rep, err := sess.Run(s)
 		if err != nil {
+			// A repetition cancelled by the per-cell deadline — parent
+			// context still alive — is a timeout data point, not a sweep
+			// failure.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) && r.ctx.Err() == nil {
+				reps[i].timedOut = true
+				return nil
+			}
 			return fmt.Errorf("expt: %s/%s seed %d: %w", sc.Label(), name, i, err)
 		}
 		out := &reps[i]
@@ -114,6 +135,10 @@ func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 	var dists, puIdles [][]float64
 	for i := range reps {
 		rep := &reps[i]
+		if rep.timedOut {
+			res.TimedOut++
+			continue
+		}
 		res.LastReport = rep.report
 		if res.PUNames == nil {
 			res.PUNames = rep.report.PUNames

@@ -18,6 +18,11 @@ import (
 // supplied.
 var ErrTooFewPoints = errors.New("fit: too few points")
 
+// ErrNonFinite is returned when a sample is NaN or ±Inf — corrupted
+// profile streams classify here instead of poisoning the normal equations
+// and the fitted curves downstream.
+var ErrNonFinite = errors.New("fit: non-finite sample")
+
 // ErrDegenerate is returned when the samples carry no usable signal (e.g.
 // all x equal).
 var ErrDegenerate = errors.New("fit: degenerate sample set")
@@ -228,6 +233,21 @@ func rsquared(m Model, xs, ys []float64, p int) (r2, adj float64) {
 	return r2, adj
 }
 
+// finiteSamples reports whether every sample in both streams is finite.
+func finiteSamples(xs, ys []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // sampleScale returns the largest |x| and whether xs has ≥2 distinct values.
 // It is a plain scan (no sort, no allocation): max(|min|, |max|) equals the
 // largest absolute value, and min ≠ max detects spread — the hot refit path
@@ -286,6 +306,9 @@ func (l Linear) Deriv(x float64) float64 {
 func FitLogCurve(xs, ys []float64) (Model, error) {
 	if len(xs) != len(ys) || len(xs) < 2 {
 		return Model{}, ErrTooFewPoints
+	}
+	if !finiteSamples(xs, ys) {
+		return Model{}, ErrNonFinite
 	}
 	scale, spread := sampleScale(xs)
 	if !spread {

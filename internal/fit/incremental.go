@@ -227,6 +227,9 @@ func (f *Fitter) Fit(xs, ys []float64, useHi float64) (Model, error) {
 	if len(xs) < 2 {
 		return Model{}, ErrTooFewPoints
 	}
+	if !finiteSamples(xs, ys) {
+		return Model{}, ErrNonFinite
+	}
 	scale, spread := sampleScale(xs)
 	if !spread {
 		return Model{}, ErrDegenerate
@@ -321,6 +324,9 @@ func (f *Fitter) fitSet(i int, bases []Basis, xs, ys []float64, scale float64) (
 func (f *Fitter) Line(xs, ys []float64) (Linear, error) {
 	if len(xs) != len(ys) || len(xs) < 2 {
 		return Linear{}, ErrTooFewPoints
+	}
+	if !finiteSamples(xs, ys) {
+		return Linear{}, ErrNonFinite
 	}
 	scale, spread := sampleScale(xs)
 	if !spread {

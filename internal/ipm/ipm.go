@@ -83,15 +83,32 @@ type Result struct {
 // are +Inf — every device failed).
 var ErrInfeasible = errors.New("ipm: infeasible block-size problem")
 
-// ErrNoProgress is returned when the Newton iteration stalls and the
-// fallback is disabled.
-var ErrNoProgress = errors.New("ipm: no progress and fallback disabled")
+// ErrNoProgress is returned when the Newton line search stalls (no
+// acceptable step) and the fallback is disabled.
+var ErrNoProgress = errors.New("ipm: line search stalled")
+
+// ErrNonFinite is returned when the problem contains non-finite inputs
+// (NaN/Inf total or curves) or the iteration produces non-finite values —
+// chaos-corrupted profiles classify here instead of yielding garbage.
+var ErrNonFinite = errors.New("ipm: non-finite inputs or iterates")
+
+// ErrNoConverge is returned when the Newton iteration exhausts its
+// iteration budget without reaching tolerance.
+var ErrNoConverge = errors.New("ipm: iteration budget exhausted without convergence")
+
+// ErrIllConditioned is returned when the KKT system is singular or too
+// ill-conditioned to factor.
+var ErrIllConditioned = errors.New("ipm: ill-conditioned KKT system")
 
 // Solve computes the equal-finish-time distribution.
 func Solve(p Problem, opt Options) (Result, error) {
 	start := time.Now()
 	opt = opt.withDefaults()
 	n := len(p.Curves)
+	if math.IsNaN(p.Total) || math.IsInf(p.Total, 0) {
+		// NaN would pass the <= 0 check below and poison every division.
+		return Result{}, fmt.Errorf("ipm: total=%g: %w", p.Total, ErrNonFinite)
+	}
 	if n == 0 || p.Total <= 0 {
 		return Result{}, fmt.Errorf("ipm: empty problem (n=%d total=%g)", n, p.Total)
 	}
@@ -130,23 +147,53 @@ func Solve(p Problem, opt Options) (Result, error) {
 		return Result{}, err
 	}
 
+	ipmErr := error(ErrNoProgress)
 	if !opt.DisableIPM {
-		res, ok := solveIPM(sc, opt)
-		if ok {
-			res.WallTime = time.Since(start)
-			return res, nil
+		res, err := solveIPM(sc, opt)
+		if err == nil {
+			if verr := validResult(res, p.Total); verr != nil {
+				err = verr
+			} else {
+				res.WallTime = time.Since(start)
+				return res, nil
+			}
 		}
+		ipmErr = err
 	}
 	if opt.DisableFall {
-		return Result{}, ErrNoProgress
+		return Result{}, ipmErr
 	}
 	res, err := solveBisection(sc)
 	if err != nil {
 		return Result{}, err
 	}
+	if err := validResult(res, p.Total); err != nil {
+		return Result{}, err
+	}
 	res.UsedFallback = true
 	res.WallTime = time.Since(start)
 	return res, nil
+}
+
+// validResult guards the solver's contract: every returned block size is
+// finite and non-negative and the sizes sum to Total (within rounding).
+// A violation — only reachable with pathological curve inputs — classifies
+// as ErrNonFinite rather than propagating garbage into a distribution.
+func validResult(res Result, total float64) error {
+	var sum float64
+	for _, x := range res.X {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return fmt.Errorf("ipm: block size %g in solution: %w", x, ErrNonFinite)
+		}
+		sum += x
+	}
+	if math.Abs(sum-total) > 1e-6*math.Max(1, math.Abs(total)) {
+		return fmt.Errorf("ipm: solution sums to %g, want %g: %w", sum, total, ErrNonFinite)
+	}
+	if math.IsNaN(res.Tau) || math.IsInf(res.Tau, 0) {
+		return fmt.Errorf("ipm: non-finite makespan %g: %w", res.Tau, ErrNonFinite)
+	}
+	return nil
 }
 
 // partitionFinite returns the indices of curves that evaluate finite at an

@@ -14,8 +14,11 @@ type iterate struct {
 }
 
 // solveIPM runs the primal-dual interior-point iteration on the scaled
-// problem. It returns ok=false when the iteration stalls or produces
-// non-finite values, in which case the caller falls back to bisection.
+// problem. Failures come back classified — ErrIllConditioned (KKT system
+// would not factor), ErrNonFinite (step or iterate left the reals),
+// ErrNoProgress (line search stalled), ErrNoConverge (iteration budget
+// exhausted) — so the caller can fall back to bisection and schedulers can
+// pick a degradation rung by error kind.
 //
 // All per-iteration storage — the (4n+2)² KKT Jacobian, its LU
 // factorization, the residual/step vectors, and the line-search trial
@@ -23,7 +26,7 @@ type iterate struct {
 // iterations and trials. The previous version allocated a fresh Jacobian
 // per iteration and a full iterate clone per line-search trial, which
 // dominated the solver's allocation profile.
-func solveIPM(sc *scaled, opt Options) (Result, bool) {
+func solveIPM(sc *scaled, opt Options) (Result, error) {
 	n := sc.n
 	mu := opt.Mu0
 
@@ -54,7 +57,7 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 			res.Converged = true
 			res.Iterations = iter - 1
 			res.KKTResidual = e0
-			return res, true
+			return res, nil
 		}
 		// Barrier update: tighten mu once the barrier subproblem is solved.
 		for kktError(sc, it, mu) <= kappaEps*mu && mu > opt.Tol/10 {
@@ -66,10 +69,13 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 		kktSystem(sc, it, mu, jac, res)
 		res.Scale(-1)
 		if err := lu.Factor(jac); err != nil {
-			return Result{}, false
+			return Result{}, ErrIllConditioned
 		}
-		if err := lu.SolveInto(step, res); err != nil || !step.IsFinite() {
-			return Result{}, false
+		if err := lu.SolveInto(step, res); err != nil {
+			return Result{}, ErrIllConditioned
+		}
+		if !step.IsFinite() {
+			return Result{}, ErrNonFinite
 		}
 		du := step[0:n]
 		dtau := step[n]
@@ -111,7 +117,7 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 			}
 		}
 		if !accepted {
-			return Result{}, false
+			return Result{}, ErrNoProgress
 		}
 		// Dual variables take the (possibly longer) dual step length.
 		it.lam.AddScaled(aDual, dlam)
@@ -119,7 +125,7 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 		it.nu += aDual * dnu
 
 		if !it.u.IsFinite() || !it.s.IsFinite() || !it.lam.IsFinite() || !it.z.IsFinite() {
-			return Result{}, false
+			return Result{}, ErrNonFinite
 		}
 	}
 	// Out of iterations: accept only if reasonably converged.
@@ -129,9 +135,9 @@ func solveIPM(sc *scaled, opt Options) (Result, bool) {
 		res.Converged = true
 		res.Iterations = opt.MaxIter
 		res.KKTResidual = e0
-		return res, true
+		return res, nil
 	}
-	return Result{}, false
+	return Result{}, ErrNoConverge
 }
 
 // initialPoint places the iterate strictly inside the feasible region: even

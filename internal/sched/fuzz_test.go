@@ -1,12 +1,17 @@
 package sched
 
 import (
+	"encoding/binary"
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
 	"plbhec/internal/fault"
+	"plbhec/internal/fit"
+	"plbhec/internal/ipm"
 	"plbhec/internal/starpu"
 )
 
@@ -172,6 +177,81 @@ func FuzzFaultSchedule(f *testing.F) {
 			if c != 1 {
 				t.Fatalf("unit %d processed %d times", i, c)
 			}
+		}
+	})
+}
+
+// FuzzSolverInputs feeds arbitrary bytes — reinterpreted as raw IEEE-754
+// profile samples, so NaN, ±Inf and subnormals all occur naturally — through
+// the curve-fitting and block-size-solving pipeline. The contract under
+// fuzzing: fitting either classifies the corruption (fit.ErrNonFinite and
+// friends) or produces a model; the solver either returns a typed error or
+// a valid distribution — finite, non-negative block sizes summing to the
+// total. It must never emit NaN into a distribution.
+func FuzzSolverInputs(f *testing.F) {
+	f.Add([]byte{2})
+	f.Add(binary.LittleEndian.AppendUint64([]byte{3}, math.Float64bits(math.NaN())))
+	f.Add(binary.LittleEndian.AppendUint64(
+		binary.LittleEndian.AppendUint64([]byte{2}, math.Float64bits(1.5)),
+		math.Float64bits(math.Inf(1))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		nCurves := 2 + int(data[0])%3
+		vals := make([]float64, 0, len(data)/8)
+		for b := data[1:]; len(b) >= 8; b = b[8:] {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(b)))
+		}
+		next := func(i int, def float64) float64 {
+			if i < len(vals) {
+				return vals[i]
+			}
+			return def
+		}
+		var curves []ipm.Curve
+		const perCurve = 4
+		for c := 0; c < nCurves; c++ {
+			xs := make([]float64, perCurve)
+			ys := make([]float64, perCurve)
+			for i := 0; i < perCurve; i++ {
+				// Block sizes grow geometrically like real probe rounds;
+				// fuzz bytes perturb both coordinates (possibly to NaN/Inf).
+				base := float64(int64(16) << uint(i))
+				xs[i] = base + next(c*2*perCurve+i, 0)
+				ys[i] = base*1e-4 + next(c*2*perCurve+perCurve+i, 0)
+			}
+			m, err := fit.FitSamples(xs, ys)
+			if err != nil {
+				// Corruption classified at the fitting boundary.
+				if !(errors.Is(err, fit.ErrNonFinite) || errors.Is(err, fit.ErrDegenerate) ||
+					errors.Is(err, fit.ErrTooFewPoints)) {
+					t.Fatalf("unclassified fit error: %v", err)
+				}
+				return
+			}
+			curves = append(curves, m)
+		}
+		total := 1024.0
+		if len(vals) > 0 {
+			total = vals[len(vals)-1]
+		}
+		res, err := ipm.Solve(ipm.Problem{Curves: curves, Total: total}, ipm.Options{})
+		if err != nil {
+			return // typed failure is the acceptable outcome for garbage
+		}
+		var sum float64
+		for _, x := range res.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				t.Fatalf("solver emitted invalid block size %g (total %g)", x, total)
+			}
+			sum += x
+		}
+		if math.IsNaN(res.Tau) || math.IsInf(res.Tau, 0) {
+			t.Fatalf("solver emitted non-finite makespan %g", res.Tau)
+		}
+		if math.Abs(sum-total) > 1e-6*math.Max(1, math.Abs(total)) {
+			t.Fatalf("distribution sums to %g, want %g", sum, total)
 		}
 	})
 }

@@ -116,6 +116,12 @@ type PLBHeC struct {
 	// the fit sees one consistent regime.
 	regime []float64
 
+	// rung is the scheduler's current degradation-ladder position (0 =
+	// normal PLB-HeC solve; see ladder.go), and lastGood the most recent
+	// successfully solved distribution, the ladder's first fallback.
+	rung     int
+	lastGood []float64
+
 	stats plbStats
 	// firstModels snapshots the models used by the first solve (debugging
 	// and the Fig. 1 reproduction inspect them).
@@ -130,6 +136,8 @@ type plbStats struct {
 	solverSeconds                       float64
 	modelRounds                         float64
 	failures                            float64
+	// ladder counts failed solves handled by the degradation ladder.
+	ladder float64
 }
 
 const (
@@ -156,14 +164,16 @@ func (p *PLBHeC) Name() string { return "plb-hec" }
 // Stats implements starpu.StatsReporter.
 func (p *PLBHeC) Stats() map[string]float64 {
 	return map[string]float64{
-		"fits":           p.stats.fits,
-		"solves":         p.stats.solves,
-		"rebalances":     p.stats.rebalances,
-		"solverFallback": p.stats.fallbacks,
-		"solverSeconds":  p.stats.solverSeconds,
-		"modelRounds":    p.stats.modelRounds,
-		"modelUnits":     p.usedUnits,
-		"failures":       p.stats.failures,
+		"fits":            p.stats.fits,
+		"solves":          p.stats.solves,
+		"rebalances":      p.stats.rebalances,
+		"solverFallback":  p.stats.fallbacks,
+		"solverSeconds":   p.stats.solverSeconds,
+		"modelRounds":     p.stats.modelRounds,
+		"modelUnits":      p.usedUnits,
+		"failures":        p.stats.failures,
+		"ladderFallbacks": p.stats.ladder,
+		"ladderRung":      float64(p.rung),
 	}
 }
 
@@ -351,6 +361,15 @@ func (p *PLBHeC) beginExecution(s *starpu.Session) {
 		p.evenShareAlive()
 	} else {
 		p.firstModels = p.models
+		// Let the runtime's watchdogs (when a SpeculationPolicy is attached)
+		// derive block deadlines from the fitted model; the closure tracks
+		// p.models, so refits sharpen the deadlines automatically.
+		s.SetPredictor(func(pu int, units float64) float64 {
+			if !p.modelsOK || pu >= len(p.models.PU) {
+				return 0
+			}
+			return p.models.PU[pu].Eval(units)
+		})
 		p.solveDistribution(s)
 	}
 	s.RecordDistribution("modeling-phase", p.share)
@@ -374,9 +393,10 @@ func (p *PLBHeC) solveDistribution(s *starpu.Session) {
 		s.Telemetry().Emit(telemetry.Event{
 			Kind: telemetry.EvSolve, Time: s.Now(), PU: -1, Name: "failed",
 		})
-		// Unsolvable system: even split over survivors — still correct,
-		// just less optimal.
-		p.evenShareAlive()
+		// Classified solver failure (non-finite inputs, ill-conditioning,
+		// no convergence): descend the degradation ladder — last-good
+		// distribution, then HDSS throughput weights, then even split.
+		p.degrade(s)
 		return
 	}
 	p.stats.solverSeconds += res.WallTime.Seconds()
@@ -392,6 +412,7 @@ func (p *PLBHeC) solveDistribution(s *starpu.Session) {
 	for i, x := range res.X {
 		p.share[i] = x / remaining
 	}
+	p.noteSolveOK(s)
 }
 
 // submitBlocks hands every unit its first block of the new distribution.

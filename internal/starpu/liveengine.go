@@ -1,11 +1,13 @@
 package starpu
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/device"
+	"plbhec/internal/telemetry"
 )
 
 // LiveKernel is a real computation decomposed into work units; Execute must
@@ -46,6 +48,28 @@ type liveEngine struct {
 	// queueName holds each worker's precomputed telemetry label
 	// ("<name>/queue"), so per-completion emission never concatenates.
 	queueName []string
+	// watch tracks watchdog state per in-flight block sequence number
+	// (speculation mode only). Touched only on the driving goroutine:
+	// launches, completions, and watchdog expirations are all serialized
+	// there, so no lock is needed.
+	watch map[int]*liveWatch
+	// stray counts losing copies of already-delivered blocks still running
+	// on workers; drive drains their completions before closing channels.
+	stray int
+}
+
+// liveWatch is the watchdog state of one in-flight block.
+type liveWatch struct {
+	pu          int // unit the original copy was launched on
+	lo, hi      int64
+	retries     int
+	deadlineSec float64 // engine seconds; the armed watchdog deadline
+	// specPU is the backup's unit once speculated, -1 while armed, or -2
+	// when disarmed (expired with no healthy target, or the race was
+	// settled by a device failure).
+	specPU int
+	copies int  // live copies of the block (1, or 2 once speculated)
+	done   bool // a copy completed and the block was delivered
 }
 
 type liveAssign struct {
@@ -79,6 +103,14 @@ type LiveConfig struct {
 	// block already executing when its device is failed still completes.
 	// Nil preserves the legacy behavior (failures are ignored entirely).
 	Retry *RetryPolicy
+	// Spec, when non-nil, enables tail tolerance: blocks that outlive their
+	// watchdog deadline get a backup copy on another worker, first
+	// completion wins, and the loser's result is discarded. The two copies
+	// execute the same unit range concurrently, so the kernel must tolerate
+	// duplicate execution of a range (idempotent writes or atomic updates —
+	// all kernels in internal/apps qualify). Nil preserves the legacy
+	// behavior exactly.
+	Spec *SpeculationPolicy
 }
 
 // NewLiveSession builds a session that runs kernel on real goroutine
@@ -106,6 +138,7 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		profile: cfg.Profile,
 		appName: cfg.AppName,
 		retry:   cfg.Retry.normalized(),
+		spec:    cfg.Spec.normalized(),
 	}
 	s.initCommon(cfg.TotalUnits)
 	le := &liveEngine{
@@ -115,6 +148,9 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		complete:  make(chan liveDone, 4*len(cfg.Workers)),
 		specs:     cfg.Workers,
 		queueBusy: make([]float64, len(cfg.Workers)),
+	}
+	if s.spec != nil {
+		le.watch = make(map[int]*liveWatch)
 	}
 	for _, w := range cfg.Workers {
 		le.queueName = append(le.queueName, w.Name+"/queue")
@@ -172,7 +208,20 @@ func (e *liveEngine) executeParallel(lo, hi int64, par int) {
 }
 
 func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, retries int) {
-	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries}
+	submit := e.now()
+	if e.session.spec != nil && retries == 0 {
+		// Arm a watchdog for the block when a deadline is derivable (launch
+		// runs on the driving goroutine, so the map needs no lock).
+		// Requeued copies re-enter through relaunchAfter and are not
+		// re-armed.
+		if wd := e.session.watchdogDeadline(pu.ID, hi-lo); wd > 0 {
+			e.watch[seq] = &liveWatch{
+				pu: pu.ID, lo: lo, hi: hi, retries: retries,
+				deadlineSec: submit + wd, specPU: -1, copies: 1,
+			}
+		}
+	}
+	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: submit, retries: retries}
 }
 
 // abortInFlight implements engine. The live engine cannot interrupt a real
@@ -196,6 +245,9 @@ func (e *liveEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, h
 }
 
 func (e *liveEngine) drive() error {
+	if e.session.spec != nil {
+		return e.driveSpec()
+	}
 	for e.session.inflight > 0 {
 		d := <-e.complete
 		if d.failed {
@@ -220,6 +272,166 @@ func (e *liveEngine) drive() error {
 		close(ch)
 	}
 	return nil
+}
+
+// driveSpec is the completion loop with tail tolerance: between
+// completions it sleeps only until the earliest armed watchdog deadline,
+// launching backup copies for blocks that outlive it.
+func (e *liveEngine) driveSpec() error {
+	for e.session.inflight > 0 {
+		dl, armed := e.nextDeadline()
+		if !armed {
+			e.handleDone(<-e.complete)
+			continue
+		}
+		timer := time.NewTimer(time.Duration((dl - e.now()) * float64(time.Second)))
+		select {
+		case d := <-e.complete:
+			timer.Stop()
+			e.handleDone(d)
+		case <-timer.C:
+			e.fireWatchdogs()
+		}
+	}
+	// Losing copies of delivered blocks are real kernels that cannot be
+	// interrupted; drain their completions so no worker is left blocked on
+	// the channel after the run.
+	for e.stray > 0 {
+		e.handleDone(<-e.complete)
+	}
+	for _, ch := range e.workers {
+		close(ch)
+	}
+	return nil
+}
+
+// nextDeadline returns the earliest armed, unexpired watchdog deadline.
+func (e *liveEngine) nextDeadline() (float64, bool) {
+	best, ok := 0.0, false
+	for _, w := range e.watch {
+		if w.done || w.specPU != -1 {
+			continue
+		}
+		if !ok || w.deadlineSec < best {
+			best, ok = w.deadlineSec, true
+		}
+	}
+	return best, ok
+}
+
+// fireWatchdogs speculates every armed block whose deadline has passed:
+// the expiry is charged to the straggling worker and a backup copy goes to
+// the least-loaded healthy one (in sequence order, for reproducible
+// accounting).
+func (e *liveEngine) fireWatchdogs() {
+	now := e.now()
+	var expired []int
+	for seq, w := range e.watch {
+		if !w.done && w.specPU == -1 && w.deadlineSec <= now {
+			expired = append(expired, seq)
+		}
+	}
+	sort.Ints(expired)
+	s := e.session
+	for _, seq := range expired {
+		w := e.watch[seq]
+		s.noteExpiry(w.pu)
+		target := s.pickSpecTarget(w.pu)
+		if target < 0 {
+			w.specPU = -2 // nowhere healthy to speculate; wait it out
+			continue
+		}
+		w.specPU = target
+		w.copies++
+		s.inflightPU[target]++
+		s.noteSpeculate(w.pu, target, seq, w.hi-w.lo)
+		if s.tel != nil {
+			s.tel.Emit(telemetry.Event{
+				Kind: telemetry.EvTaskSubmit, Time: e.now(),
+				PU: target, Seq: seq, Units: w.hi - w.lo,
+			})
+		}
+		a := liveAssign{seq: seq, lo: w.lo, hi: w.hi, submit: e.now(), retries: w.retries}
+		select {
+		case e.workers[target] <- a:
+		default:
+			go func(ch chan liveAssign) { ch <- a }(e.workers[target])
+		}
+	}
+}
+
+// handleDone processes one completion report under speculation, resolving
+// first-completion-wins races and falling back to the legacy paths for
+// blocks without watchdog state.
+func (e *liveEngine) handleDone(d liveDone) {
+	s := e.session
+	w := e.watch[d.rec.Seq]
+	if w == nil {
+		// No watchdog state: legacy handling verbatim.
+		if d.failed {
+			s.NoteDeviceDown(d.rec.PU)
+			if !s.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
+				s.inflight--
+			}
+			return
+		}
+		rec := d.rec
+		if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
+			e.queueBusy[rec.PU] += wait
+			s.emitLink(e.queueName[rec.PU], rec.TransferStart, rec.TransferEnd, rec.Units)
+		}
+		s.onComplete(rec)
+		return
+	}
+	if w.done {
+		// The losing copy of an already-delivered block surfacing: its
+		// result is discarded, only its accounts settle.
+		e.stray--
+		w.copies--
+		s.inflightPU[d.rec.PU]--
+		if w.copies == 0 {
+			delete(e.watch, d.rec.Seq)
+		}
+		return
+	}
+	if d.failed {
+		if w.copies > 1 {
+			// One copy bounced off a failed device but its twin is alive:
+			// the twin completes the block, so no requeue. The race is
+			// settled without a win/wasted outcome, as on the sim engine.
+			w.copies--
+			w.specPU = -2
+			s.NoteDeviceDown(d.rec.PU)
+			s.inflightPU[d.rec.PU]--
+			return
+		}
+		// Sole copy bounced: legacy requeue path; the watchdog state is
+		// obsolete (requeued copies are not re-armed).
+		delete(e.watch, d.rec.Seq)
+		s.NoteDeviceDown(d.rec.PU)
+		if !s.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
+			s.inflight--
+		}
+		return
+	}
+	// First completion wins.
+	w.done = true
+	w.copies--
+	if w.specPU >= 0 {
+		s.noteSpecResolved(w.pu, w.specPU, d.rec.Seq, d.rec.Units, d.rec.PU == w.specPU)
+	}
+	if w.copies > 0 {
+		e.stray++
+	} else {
+		delete(e.watch, d.rec.Seq)
+	}
+	rec := d.rec
+	if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
+		e.queueBusy[rec.PU] += wait
+		s.emitLink(e.queueName[rec.PU], rec.TransferStart, rec.TransferEnd, rec.Units)
+	}
+	s.observeBlock(rec.PU, rec.Units, rec.ExecEnd-rec.SubmitTime, rec.ExecEnd <= w.deadlineSec)
+	s.onComplete(rec)
 }
 
 func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {

@@ -128,16 +128,28 @@ func (s *Session) requeueBlock(fromPU, seq int, lo, hi int64, retries int) bool 
 
 // pickRequeueTarget returns the alive, non-blacklisted unit with the fewest
 // blocks in flight (lowest ID on ties — deterministic), excluding the unit
-// the block just failed on; -1 when none qualifies.
+// the block just failed on; -1 when none qualifies. Units soft-blacklisted
+// as stragglers are avoided while any faster survivor exists, but remain a
+// last resort — a slow unit still beats a failed run.
 func (s *Session) pickRequeueTarget(exclude int) int {
 	best := -1
+	bestSlow := -1
 	for i, pu := range s.pus {
 		if i == exclude || s.blacklist[i] || pu.Dev.Failed() {
+			continue
+		}
+		if s.spec != nil && s.slow[i] {
+			if bestSlow < 0 || s.inflightPU[i] < s.inflightPU[bestSlow] {
+				bestSlow = i
+			}
 			continue
 		}
 		if best < 0 || s.inflightPU[i] < s.inflightPU[best] {
 			best = i
 		}
+	}
+	if best < 0 {
+		return bestSlow
 	}
 	return best
 }

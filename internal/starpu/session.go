@@ -56,6 +56,27 @@ type Session struct {
 	// targets the least-loaded survivor.
 	inflightPU []int
 
+	// spec, when non-nil, enables the tail-tolerance machinery: watchdog
+	// deadlines per block and speculative backup copies for expired ones.
+	// Always a normalized copy (see SpeculationPolicy.normalized); nil keeps
+	// the legacy behavior bit-for-bit, mirroring retry.
+	spec *SpeculationPolicy
+	// predict, when set, estimates a block's execution seconds from its
+	// unit count (see SetPredictor); watchdog deadlines prefer it over the
+	// observed baseline below.
+	predict func(pu int, units float64) float64
+	// wdMean/wdM2/wdCount are per-unit Welford accumulators over observed
+	// seconds-per-unit rates — the watchdog's fallback baseline.
+	wdMean, wdM2 []float64
+	wdCount      []int64
+	// slow marks units soft-blacklisted as stragglers; slowCount counts
+	// consecutive watchdog expirations and drives it (see noteExpiry).
+	slow      []bool
+	slowCount []int
+	// fallbacks counts scheduler degradation-ladder transitions by rung
+	// label (see NoteFallback); nil until the ladder first engages.
+	fallbacks map[string]int64
+
 	records       []TaskRecord
 	distributions []Distribution
 	sched         Scheduler
@@ -289,6 +310,12 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 	}
 	rep.LinkBusy = s.eng.linkBusy()
 	rep.Resilience = append([]PUResilience(nil), s.resilience...)
+	if len(s.fallbacks) > 0 {
+		rep.SolverFallbacks = make(map[string]int64, len(s.fallbacks))
+		for k, v := range s.fallbacks {
+			rep.SolverFallbacks[k] = v
+		}
+	}
 	return rep, nil
 }
 
@@ -301,6 +328,13 @@ func (s *Session) initCommon(total int64) {
 	s.consecFails = make([]int, n)
 	s.downSeen = make([]bool, n)
 	s.inflightPU = make([]int, n)
+	if s.spec != nil {
+		s.wdMean = make([]float64, n)
+		s.wdM2 = make([]float64, n)
+		s.wdCount = make([]int64, n)
+		s.slow = make([]bool, n)
+		s.slowCount = make([]int, n)
+	}
 	// Pre-size the record log so steady-state completions append without
 	// growth copies: a run issues a handful of probing rounds plus a few
 	// execution blocks and re-requests per unit. 64 records per unit (~5 KB

@@ -6,6 +6,7 @@ import (
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
 	"plbhec/internal/sim"
+	"plbhec/internal/telemetry"
 )
 
 // simEngine executes blocks on the discrete-event simulator against the
@@ -48,8 +49,20 @@ type simCompletion struct {
 	rec     TaskRecord
 	retries int
 	// aborted marks a completion whose block was requeued after a device
-	// failure; its already-scheduled event then only recycles the payload.
+	// failure (or lost a speculation race); its already-scheduled event
+	// then only recycles the payload.
 	aborted bool
+	// deadline is the block's armed watchdog deadline in absolute engine
+	// seconds; 0 when none was armed.
+	deadline float64
+	// gen increments on every recycle so a watchdog closure can detect
+	// that its payload was reused for a different block and stand down.
+	gen uint64
+	// twin links the two live copies of a speculated block to each other
+	// (primary ↔ backup); the first to fire cancels the other. backup marks
+	// the speculative copy, which never re-speculates.
+	twin   *simCompletion
+	backup bool
 }
 
 // Fire implements sim.Handler.
@@ -57,16 +70,37 @@ func (c *simCompletion) Fire() {
 	e := c.eng
 	rec := c.rec
 	aborted := c.aborted
+	twin := c.twin
+	deadline := c.deadline
+	backup := c.backup
 	if e.session.retry != nil {
 		e.dropOutstanding(c)
 	}
 	// Recycle first: the scheduler callback below may launch new blocks,
 	// which pop from the pool — including this very payload.
 	c.aborted = false
+	c.twin = nil
+	c.backup = false
+	c.deadline = 0
+	c.gen++
 	e.freeComps = append(e.freeComps, c)
 	if aborted {
-		return // the block was requeued when its device died
+		return // the block was requeued or lost its speculation race
 	}
+	if twin != nil {
+		// First completion wins: cancel the losing copy deterministically
+		// and settle its in-flight account (its event only recycles now).
+		twin.aborted = true
+		twin.twin = nil
+		e.session.inflightPU[twin.rec.PU]--
+		orig, bak := rec.PU, twin.rec.PU
+		if backup {
+			orig, bak = twin.rec.PU, rec.PU
+		}
+		e.session.noteSpecResolved(orig, bak, rec.Seq, rec.Units, backup)
+	}
+	e.session.observeBlock(rec.PU, rec.Units, rec.ExecEnd-rec.TransferStart,
+		deadline > 0 && rec.ExecEnd <= deadline)
 	e.session.onComplete(rec)
 }
 
@@ -79,6 +113,10 @@ type SimConfig struct {
 	// failing unit are requeued per the policy instead of erroring the run.
 	// See RetryPolicy; nil preserves the legacy fail-fast behavior exactly.
 	Retry *RetryPolicy
+	// Spec, when non-nil, enables tail tolerance: watchdog deadlines per
+	// block and speculative backup copies for expired ones. See
+	// SpeculationPolicy; nil preserves the legacy behavior exactly.
+	Spec *SpeculationPolicy
 }
 
 // NoOverheads disables scheduler-overhead charging (for ablations).
@@ -98,6 +136,7 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 		overheads: ov,
 		chargeOn:  true,
 		retry:     cfg.Retry.normalized(),
+		spec:      cfg.Spec.normalized(),
 	}
 	s.initCommon(app.TotalUnits())
 	n := len(s.pus)
@@ -226,6 +265,99 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 		e.outstanding = append(e.outstanding, c)
 	}
 	e.eng.Schedule(end, c)
+	if e.session.spec != nil {
+		// Arm the watchdog only when this copy will actually miss its
+		// deadline: simulated completion times are final at launch (later
+		// speed changes never retro-affect a scheduled event), so a block
+		// on pace needs no timer at all.
+		if wd := e.session.watchdogDeadline(pu.ID, units); wd > 0 {
+			c.deadline = rec.TransferStart + wd
+			if end > c.deadline {
+				gen := c.gen
+				e.eng.At(c.deadline, func() { e.watchdogFire(c, gen) })
+			}
+		}
+	}
+}
+
+// watchdogFire runs at a block's deadline when its kernel is known to still
+// be executing: it charges the expiry to the straggling unit and launches a
+// backup copy on the least-loaded healthy one. gen guards against the
+// pooled payload having been recycled for a different block (impossible
+// while the completion event is pending, but cheap to assert).
+func (e *simEngine) watchdogFire(c *simCompletion, gen uint64) {
+	if c.gen != gen || c.aborted || c.twin != nil {
+		return
+	}
+	s := e.session
+	orig := c.rec.PU
+	s.noteExpiry(orig)
+	target := s.pickSpecTarget(orig)
+	if target < 0 {
+		return // nowhere healthy to speculate; wait for the original
+	}
+	if e.launchBackup(c, s.pus[target]) {
+		s.inflightPU[target]++
+		s.noteSpeculate(orig, target, c.rec.Seq, c.rec.Units)
+	}
+}
+
+// launchBackup schedules a speculative copy of orig's block on pu, twinned
+// with the original so whichever fires first cancels the other. It reports
+// false — and touches no resources — when pu cannot execute the block.
+func (e *simEngine) launchBackup(orig *simCompletion, pu *cluster.PU) bool {
+	units := orig.rec.Units
+	prof := e.session.profile
+	exec := pu.Dev.ExecSeconds(prof, float64(units))
+	if exec != exec || exec < 0 || exec > 1e18 {
+		return false
+	}
+	t := e.eng.Now()
+	rec := TaskRecord{
+		Seq: orig.rec.Seq, PU: pu.ID, Lo: orig.rec.Lo, Hi: orig.rec.Hi,
+		Units: units, SubmitTime: t, TransferStart: t,
+	}
+	bytes := float64(units) * prof.TransferBytesPerUnit
+	tt := t
+	if nic := e.nicOfPU[pu.ID]; nic != nil && bytes > 0 {
+		hold := pu.Machine.NIC.TransferSeconds(bytes)
+		var s0 float64
+		s0, tt = nic.AcquireAfter(tt, hold, nil)
+		e.session.emitLink(e.nicName[pu.ID], s0, tt, units)
+	}
+	if pcie := e.pcieOfPU[pu.ID]; pcie != nil && bytes > 0 {
+		hold := pu.Machine.PCIe.TransferSeconds(bytes)
+		var s0 float64
+		s0, tt = pcie.AcquireAfter(tt, hold, nil)
+		e.session.emitLink(e.pcieName[pu.ID], s0, tt, units)
+	}
+	rec.TransferEnd = tt
+	rec.ExecStart, rec.ExecEnd = e.puRes[pu.ID].AcquireAfter(tt, exec, nil)
+
+	var c *simCompletion
+	if n := len(e.freeComps); n > 0 {
+		c = e.freeComps[n-1]
+		e.freeComps[n-1] = nil
+		e.freeComps = e.freeComps[:n-1]
+	} else {
+		c = &simCompletion{eng: e}
+	}
+	c.rec = rec
+	c.retries = orig.retries
+	c.backup = true
+	c.twin = orig
+	orig.twin = c
+	if e.session.retry != nil {
+		e.outstanding = append(e.outstanding, c)
+	}
+	if s := e.session; s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvTaskSubmit, Time: t,
+			PU: pu.ID, Seq: rec.Seq, Units: units,
+		})
+	}
+	e.eng.Schedule(rec.ExecEnd, c)
+	return true
 }
 
 // dropOutstanding removes c from the outstanding list, preserving launch
@@ -241,7 +373,9 @@ func (e *simEngine) dropOutstanding(c *simCompletion) {
 
 // abortInFlight implements engine: every block pending on pu whose kernel
 // has not finished by now is marked aborted (its completion event becomes a
-// recycle-only no-op) and requeued at the failure time.
+// recycle-only no-op) and requeued at the failure time. A copy whose twin
+// is still live elsewhere is not requeued — the surviving copy completes
+// the block — so only its in-flight account is settled.
 func (e *simEngine) abortInFlight(pu int) {
 	now := e.eng.Now()
 	for _, c := range e.outstanding {
@@ -249,6 +383,12 @@ func (e *simEngine) abortInFlight(pu int) {
 			continue
 		}
 		c.aborted = true
+		if t := c.twin; t != nil {
+			c.twin = nil
+			t.twin = nil
+			e.session.inflightPU[pu]--
+			continue
+		}
 		e.session.requeueBlock(pu, c.rec.Seq, c.rec.Lo, c.rec.Hi, c.retries)
 	}
 }

@@ -154,6 +154,70 @@ func (p *RetryPolicy) backoff(retry int) float64 {
 	return d
 }
 
+// SpeculationPolicy configures the runtime's tail tolerance. When a policy
+// is attached (SimConfig.Spec / LiveConfig.Spec), every launched block gets
+// a watchdog deadline derived from its predicted time — the scheduler's
+// fitted model when one is installed (Session.SetPredictor), a
+// Welford-streamed observed per-unit-rate baseline otherwise. A block still
+// unfinished at its deadline gets a backup copy launched on the
+// least-loaded healthy unit; the first copy to finish wins and the loser is
+// cancelled deterministically, so every block still completes exactly once.
+// Units whose blocks keep expiring are soft-blacklisted as backup/requeue
+// targets until they complete a block within deadline again. A nil policy
+// (the default) disables all of it and keeps the record stream — including
+// the golden hashes — bit-identical, mirroring RetryPolicy.
+type SpeculationPolicy struct {
+	// DeadlineMultiplier scales the predicted block time into the watchdog
+	// deadline. Values <= 1 (or non-finite) mean the default 3.
+	DeadlineMultiplier float64
+	// MinDeadlineSeconds floors every armed deadline so measurement noise
+	// on tiny blocks cannot trigger speculation storms. <= 0 or non-finite
+	// means the default 1 ms.
+	MinDeadlineSeconds float64
+	// MinObservations is how many completed blocks a unit needs before its
+	// observed baseline may arm watchdogs (ignored when a predictor is
+	// installed). <= 0 means the default 3.
+	MinObservations int
+	// SlowAfter is how many consecutive watchdog expirations mark a unit as
+	// a straggler: it stops receiving backups and requeued blocks (soft
+	// blacklist) until it completes a block within deadline. <= 0 means the
+	// default 2.
+	SlowAfter int
+}
+
+// DefaultSpeculationPolicy returns the policy used by the chaos
+// experiments: deadlines at 3× the prediction (floored at 1 ms), baselines
+// armed after 3 observations, soft blacklist after 2 consecutive
+// expirations.
+func DefaultSpeculationPolicy() *SpeculationPolicy {
+	return &SpeculationPolicy{
+		DeadlineMultiplier: 3, MinDeadlineSeconds: 1e-3,
+		MinObservations: 3, SlowAfter: 2,
+	}
+}
+
+// normalized returns a copy with every zero/invalid field replaced by its
+// default, so sessions never consult a half-filled policy.
+func (p *SpeculationPolicy) normalized() *SpeculationPolicy {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	if !(q.DeadlineMultiplier > 1) || q.DeadlineMultiplier > 1e6 {
+		q.DeadlineMultiplier = 3
+	}
+	if !(q.MinDeadlineSeconds > 0) || q.MinDeadlineSeconds > 1e18 {
+		q.MinDeadlineSeconds = 1e-3
+	}
+	if q.MinObservations <= 0 {
+		q.MinObservations = 3
+	}
+	if q.SlowAfter <= 0 {
+		q.SlowAfter = 2
+	}
+	return &q
+}
+
 // PUResilience is one unit's fault/recovery history over a run.
 type PUResilience struct {
 	// Failovers counts down-transitions observed on the unit (a brown-out
@@ -169,6 +233,18 @@ type PUResilience struct {
 	// Blacklisted reports whether the unit ended the run excluded from
 	// requeue targeting.
 	Blacklisted bool
+	// Speculations counts watchdog expirations on the unit that launched a
+	// backup copy of its block elsewhere.
+	Speculations int64
+	// SpecWins counts speculated blocks whose backup copy finished first.
+	// SpecWasted counts those whose original outran the backup. Both are
+	// charged to the straggling unit; their sum can trail Speculations when
+	// a device death settles a race before either copy finishes.
+	SpecWins, SpecWasted int64
+	// SlowBlacklisted reports whether the unit ended the run
+	// soft-blacklisted as a straggler (excluded from backup and requeue
+	// targeting until it completes a block within deadline).
+	SlowBlacklisted bool
 }
 
 // Distribution is a block-size split recorded by a scheduler (Fig. 6).
@@ -197,6 +273,10 @@ type Report struct {
 	// Resilience reports each unit's fault history (cluster order). All
 	// zeros when no fault occurred or no RetryPolicy was attached.
 	Resilience []PUResilience
+	// SolverFallbacks counts the scheduler's degradation-ladder transitions
+	// by rung label ("last-good", "hdss", "greedy", "recovered"); nil when
+	// the ladder never engaged.
+	SolverFallbacks map[string]int64
 }
 
 // engine abstracts the two execution backends.

@@ -175,6 +175,12 @@ func (p *PerfettoSink) Write(w io.Writer) error {
 			instant(ev, "recovery: "+ev.Name, map[string]any{"pu": ev.PU})
 		case EvBlacklist:
 			instant(ev, "blacklist: "+ev.Name, map[string]any{"pu": ev.PU})
+		case EvSpeculate:
+			instant(ev, "speculate: "+ev.Name, map[string]any{
+				"pu": ev.PU, "seq": ev.Seq, "units": ev.Units, "backup": ev.Value,
+			})
+		case EvFallback:
+			instant(ev, "fallback: "+ev.Name, map[string]any{"rung": ev.Value})
 		}
 	}
 	closePhase(maxTs)

@@ -32,6 +32,8 @@ type RunMetrics struct {
 	failovers, keepAlives      *Counter
 	requeues, recoveries       *Counter
 	blacklists                 *Counter
+	speculations, specWins     *Counter
+	specWasted                 *Counter
 
 	lastShares []float64
 	phaseCodes map[string]int
@@ -73,6 +75,10 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_requeues_total", "Blocks moved off failed units by the retry machinery")
 	reg.Help("plbhec_recoveries_total", "Failed processing units observed healthy again")
 	reg.Help("plbhec_blacklists_total", "Processing units excluded from requeueing after repeated failures")
+	reg.Help("plbhec_speculations_total", "Backup copies launched for watchdog-expired blocks")
+	reg.Help("plbhec_spec_wins_total", "Speculated blocks whose backup copy finished first")
+	reg.Help("plbhec_spec_wasted_total", "Speculated blocks whose original copy finished first")
+	reg.Help("plbhec_fallbacks_total", "Scheduler degradation-ladder transitions by rung")
 
 	n := len(puNames)
 	m.submitted = make([]*Counter, n)
@@ -109,6 +115,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	m.requeues = reg.Counter("plbhec_requeues_total")
 	m.recoveries = reg.Counter("plbhec_recoveries_total")
 	m.blacklists = reg.Counter("plbhec_blacklists_total")
+	m.speculations = reg.Counter("plbhec_speculations_total")
+	m.specWins = reg.Counter("plbhec_spec_wins_total")
+	m.specWasted = reg.Counter("plbhec_spec_wasted_total")
 	return m
 }
 
@@ -192,5 +201,30 @@ func (m *RunMetrics) Consume(ev Event) {
 		m.recoveries.Inc()
 	case EvBlacklist:
 		m.blacklists.Inc()
+	case EvSpeculate:
+		// Both copies of a speculated block get an EvTaskSubmit but only the
+		// winner completes, so the loser's inflight gauge is settled here:
+		// on "win" the loser is the original (ev.PU), on "wasted" the backup
+		// (ev.Value).
+		switch ev.Name {
+		case "win":
+			m.specWins.Inc()
+			if m.okPU(ev.PU) {
+				m.inflight[ev.PU].Add(-1)
+			}
+		case "wasted":
+			m.specWasted.Inc()
+			if m.okPU(int(ev.Value)) {
+				m.inflight[int(ev.Value)].Add(-1)
+			}
+		default:
+			m.speculations.Inc()
+		}
+	case EvFallback:
+		rung := ev.Name
+		if rung == "" {
+			rung = "unspecified"
+		}
+		m.reg.Counter("plbhec_fallbacks_total", Label{"rung", rung}).Inc()
 	}
 }

@@ -66,6 +66,16 @@ const (
 	// EvBlacklist marks a unit excluded from requeue targeting after
 	// repeated failures: Time, PU, Name (unit name).
 	EvBlacklist
+	// EvSpeculate marks one step of the tail-tolerance machinery: Name is
+	// "launch" (a watchdog expired on PU and a backup copy of block Seq was
+	// launched on unit Value), "win" (the backup finished first), or
+	// "wasted" (the original finished first): Time, PU (straggling unit),
+	// Seq, Units, Name, Value (backup unit).
+	EvSpeculate
+	// EvFallback marks a scheduler degradation-ladder transition: Time,
+	// PU = -1, Name (the rung entered: "last-good", "hdss", "greedy", or
+	// "recovered" when a later solve succeeds again), Value (rung number).
+	EvFallback
 )
 
 // String names the kind for sinks and debug output.
@@ -99,6 +109,10 @@ func (k EventKind) String() string {
 		return "recovery"
 	case EvBlacklist:
 		return "blacklist"
+	case EvSpeculate:
+		return "speculate"
+	case EvFallback:
+		return "fallback"
 	}
 	return "unknown"
 }
