@@ -50,6 +50,7 @@ func run() int {
 		jobs    = flag.Int("jobs", runtime.NumCPU(), "worker-pool size for cells and repetitions (1: sequential)")
 		cellTO  = flag.Duration("cell-timeout", 0, "per-repetition wall-time bound; expired repetitions are recorded as timed-out (0: unbounded)")
 		listen  = flag.String("listen", "", "serve live progress gauges on this address (e.g. :9090/metrics)")
+		explain = flag.Bool("explain", false, "run the critical-path attribution explainer instead of the experiment suite (blame vectors, latency percentiles, critical chains per scheduler)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -114,7 +115,7 @@ func run() int {
 	}
 	if *listen != "" {
 		reg := telemetry.NewRegistry()
-		srv, addr, _, err := telemetry.ListenAndServe(*listen, reg)
+		srv, addr, _, err := telemetry.ListenAndServe(*listen, reg, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbbench: -listen: %v\n", err)
 			return 1
@@ -125,7 +126,9 @@ func run() int {
 	}
 
 	var err error
-	if *exp == "" {
+	if *explain {
+		err = expt.RunExplain(opts)
+	} else if *exp == "" {
 		err = expt.RunAll(opts)
 	} else if e, ok := expt.Get(*exp); ok {
 		err = e.Run(opts)

@@ -8,6 +8,7 @@
 //	plbsim -app bs -size 500000 -machines 4 -sched hdss -gantt
 //	plbsim -app grn -size 100000 -sched greedy -seed 3
 //	plbsim -app mm -size 65536 -sched all          # compare every policy
+//	plbsim -app mm -sched plb-hec -explain             # critical-path attribution
 //	plbsim -app mm -sched plb-hec -perfetto out.json   # ui.perfetto.dev trace
 //	plbsim -app mm -sched plb-hec -listen :9090        # live /metrics endpoint
 //	plbsim -app mm -size 65536 -cpuprofile cpu.pprof   # profile the run
@@ -30,6 +31,7 @@ import (
 	"plbhec/internal/metrics"
 	"plbhec/internal/starpu"
 	"plbhec/internal/telemetry"
+	"plbhec/internal/telemetry/span"
 	"plbhec/internal/trace"
 )
 
@@ -49,8 +51,9 @@ func run() int {
 		dual     = flag.Bool("dualgpu", false, "enable the second GPU on dual boards")
 		traceOut = flag.String("trace", "", "write a JSONL event trace to this file")
 		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace_event JSON trace to this file (open in ui.perfetto.dev)")
-		listen   = flag.String("listen", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090); keeps serving after the run until interrupted")
+		listen   = flag.String("listen", "", "serve Prometheus /metrics, /healthz and /debug/attribution on this address (e.g. :9090); keeps serving after the run until interrupted")
 		detail   = flag.Bool("breakdown", false, "print per-unit time breakdown (exec/transfer/queue/idle)")
+		explain  = flag.Bool("explain", false, "record causal spans and print the run's critical-path attribution (blame vector, latency percentiles, critical chains)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -93,8 +96,9 @@ func run() int {
 	var (
 		tel  *telemetry.Telemetry
 		perf *telemetry.PerfettoSink
+		rec  *span.Recorder
 	)
-	if *perfetto != "" || *listen != "" {
+	if *perfetto != "" || *listen != "" || *explain {
 		var names []string
 		for _, pu := range clu.PUs() {
 			names = append(names, pu.Name())
@@ -105,21 +109,27 @@ func run() int {
 			perf = telemetry.NewPerfettoSink(names)
 			tel.Attach(perf)
 		}
+		if *explain {
+			rec = span.NewRecorder()
+			tel.Attach(rec)
+		}
 		sess.AttachTelemetry(tel)
 	}
 	var (
 		srv     *http.Server
 		srvAddr net.Addr
 		srvErr  <-chan error
+		att     *telemetry.AttributionStore
 	)
 	if *listen != "" {
+		att = &telemetry.AttributionStore{}
 		var err error
-		srv, srvAddr, srvErr, err = telemetry.ListenAndServe(*listen, tel.Registry())
+		srv, srvAddr, srvErr, err = telemetry.ListenAndServe(*listen, tel.Registry(), att)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
 			return 1
 		}
-		fmt.Printf("serving /metrics and /healthz on http://%s\n", srvAddr)
+		fmt.Printf("serving /metrics, /healthz and /debug/attribution on http://%s\n", srvAddr)
 	}
 
 	rep, err := sess.Run(s)
@@ -157,6 +167,24 @@ func run() int {
 		fmt.Println("\nstraggler chain (last unit's final tasks):")
 		for _, r := range trace.CriticalTail(rep, 5) {
 			fmt.Printf("  units=%6d exec=[%9.3f, %9.3f]\n", r.Units, r.ExecStart, r.ExecEnd)
+		}
+	}
+	if rec != nil {
+		an := span.Analyze(rec.Spans(), 3)
+		fmt.Println("\ncritical-path attribution:")
+		expt.WriteAttribution(os.Stdout, an, rep.PUNames)
+		if att != nil {
+			if err := att.Publish(an); err != nil {
+				fmt.Fprintf(os.Stderr, "plbsim: attribution: %v\n", err)
+				return 1
+			}
+		}
+		if perf != nil && len(an.Chains) > 0 {
+			var flow []telemetry.FlowPoint
+			for _, st := range an.Chains[0].Steps {
+				flow = append(flow, telemetry.FlowPoint{PU: int(st.PU), Time: st.End})
+			}
+			perf.SetCriticalFlow(flow)
 		}
 	}
 	if *traceOut != "" {

@@ -116,7 +116,9 @@ func TestGoldenQuickSweepDeterminism(t *testing.T) {
 
 // TestGoldenParallelInvariance asserts the runner produces bit-identical
 // record streams at -jobs 1 and -jobs 4: parallel fan-out must never change
-// results, only wall-clock time.
+// results, only wall-clock time. The hashed floats include the merged
+// latency percentiles, so the sketch's seed-order merge is held to the same
+// bit-identical standard as the record stream.
 func TestGoldenParallelInvariance(t *testing.T) {
 	hashAt := func(jobs int) string {
 		h := fnv.New64a()
@@ -129,7 +131,8 @@ func TestGoldenParallelInvariance(t *testing.T) {
 			}
 			hashRecords(h, res.LastReport.Records)
 			var buf [8]byte
-			for _, v := range []float64{res.Makespan.Mean, res.Makespan.Std, res.MeanIdle.Mean} {
+			for _, v := range []float64{res.Makespan.Mean, res.Makespan.Std, res.MeanIdle.Mean,
+				res.LatencyP50, res.LatencyP99, res.LatencyP999} {
 				b := math.Float64bits(v)
 				for i := 0; i < 8; i++ {
 					buf[i] = byte(b >> (8 * i))

@@ -36,7 +36,7 @@ func runTimeSweep(o Options, id string, kinds []AppKind) error {
 	for _, kind := range kinds {
 		t := NewTable(
 			fmt.Sprintf("%s — %s execution times (s) and speedup vs greedy", id, kind),
-			"Size", "Machines", "Scheduler", "Time s", "Std", "Speedup")
+			"Size", "Machines", "Scheduler", "Time s", "Std", "Speedup", "p50 s", "p99 s", "p999 s")
 		var cells []Cell
 		type rowRef struct {
 			size         int64
@@ -70,7 +70,10 @@ func runTimeSweep(o Options, id string, kinds []AppKind) error {
 			t.AddRow(rr.size, rr.m, string(rr.name),
 				fmt.Sprintf("%.3f", res.Makespan.Mean),
 				fmt.Sprintf("%.3f", res.Makespan.Std),
-				fmt.Sprintf("%.2f", Speedup(res, base)))
+				fmt.Sprintf("%.2f", Speedup(res, base)),
+				fmt.Sprintf("%.4f", res.LatencyP50),
+				fmt.Sprintf("%.4f", res.LatencyP99),
+				fmt.Sprintf("%.4f", res.LatencyP999))
 		}
 		if err := t.Emit(o, fmt.Sprintf("%s-%s", id, kind)); err != nil {
 			return err

@@ -33,6 +33,15 @@ type Result struct {
 	// averaged over repetitions.
 	SchedStats map[string]float64
 
+	// Latency is the merged per-block latency sketch over every repetition
+	// (fixed memory, deterministic seed-order merge: quantiles are
+	// bit-identical at any -jobs parallelism). The three fields below are
+	// its standard percentiles, in seconds.
+	Latency     *stats.QuantileSketch
+	LatencyP50  float64
+	LatencyP99  float64
+	LatencyP999 float64
+
 	// LastReport is the final repetition's full report, for Gantt and
 	// trace rendering.
 	LastReport *starpu.Report
@@ -143,6 +152,12 @@ func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 		if res.PUNames == nil {
 			res.PUNames = rep.report.PUNames
 		}
+		if rep.report.Latency != nil {
+			if res.Latency == nil {
+				res.Latency = stats.NewQuantileSketch()
+			}
+			res.Latency.Merge(rep.report.Latency)
+		}
 		makespans = append(makespans, rep.makespan)
 		idles = append(idles, rep.idle)
 		if rep.dist != nil {
@@ -157,6 +172,11 @@ func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 	res.MeanIdle = stats.Summarize(idles)
 	res.DistMean, res.DistStd = columnStats(dists)
 	res.IdleMean, res.IdleStd = columnStats(puIdles)
+	if res.Latency != nil {
+		var lat [3]float64
+		res.Latency.QuantilesInto([]float64{0.5, 0.99, 0.999}, lat[:])
+		res.LatencyP50, res.LatencyP99, res.LatencyP999 = lat[0], lat[1], lat[2]
+	}
 	return res, nil
 }
 

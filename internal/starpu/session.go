@@ -7,8 +7,13 @@ import (
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/device"
+	"plbhec/internal/stats"
 	"plbhec/internal/telemetry"
 )
+
+// latencyQuantiles are the standard per-block latency percentiles every
+// Report carries (ascending, as QuantilesInto requires).
+var latencyQuantiles = [3]float64{0.5, 0.99, 0.999}
 
 // Session is one execution of an application on a cluster under one
 // scheduler. It is the handle schedulers use to inspect state and submit
@@ -76,6 +81,10 @@ type Session struct {
 	// fallbacks counts scheduler degradation-ladder transitions by rung
 	// label (see NoteFallback); nil until the ladder first engages.
 	fallbacks map[string]int64
+
+	// overheadLog accumulates the fit/solve intervals charged to the
+	// master's clock, surfaced as Report.OverheadSpans.
+	overheadLog []OverheadSpan
 
 	records       []TaskRecord
 	distributions []Distribution
@@ -172,20 +181,28 @@ func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
 }
 
 // ChargeFit charges one curve-fitting pass to the clock (simulation only).
-func (s *Session) ChargeFit() { s.charge(s.overheads.FitSeconds) }
+func (s *Session) ChargeFit() { s.charge(s.overheads.FitSeconds, "fit") }
 
 // ChargeSolve charges one equation-system solve to the clock (simulation
 // only).
-func (s *Session) ChargeSolve() { s.charge(s.overheads.SolveSeconds) }
+func (s *Session) ChargeSolve() { s.charge(s.overheads.SolveSeconds, "solve") }
 
-func (s *Session) charge(sec float64) {
+func (s *Session) charge(sec float64, kind string) {
 	if !s.chargeOn || sec <= 0 {
 		return
 	}
 	if now := s.eng.now(); now > s.masterFree {
 		s.masterFree = now
 	}
+	start := s.masterFree
 	s.masterFree += sec
+	s.overheadLog = append(s.overheadLog, OverheadSpan{Kind: kind, Start: start, End: s.masterFree})
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Kind: telemetry.EvOverhead, Time: start, End: s.masterFree,
+			PU: -1, Name: kind,
+		})
+	}
 }
 
 // ScheduleAt arranges for fn to run at absolute engine time t, serialized
@@ -310,6 +327,17 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 	}
 	rep.LinkBusy = s.eng.linkBusy()
 	rep.Resilience = append([]PUResilience(nil), s.resilience...)
+	rep.OverheadSpans = append([]OverheadSpan(nil), s.overheadLog...)
+	if len(s.records) > 0 {
+		sk := stats.NewQuantileSketch()
+		for _, rec := range s.records {
+			sk.Observe(rec.TotalSeconds())
+		}
+		rep.Latency = sk
+		var lat [3]float64
+		sk.QuantilesInto(latencyQuantiles[:], lat[:])
+		rep.LatencyP50, rep.LatencyP99, rep.LatencyP999 = lat[0], lat[1], lat[2]
+	}
 	if len(s.fallbacks) > 0 {
 		rep.SolverFallbacks = make(map[string]int64, len(s.fallbacks))
 		for k, v := range s.fallbacks {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"plbhec/internal/cluster"
+	"plbhec/internal/stats"
 )
 
 // ErrFailedDevice reports a block assigned to a processing unit whose
@@ -247,6 +248,16 @@ type PUResilience struct {
 	SlowBlacklisted bool
 }
 
+// OverheadSpan is one master-side scheduling-computation interval charged
+// to the simulated clock (a fit or a solve). Spans never overlap: the
+// master is a serial resource, so each charge starts at the later of "now"
+// and the previous span's end.
+type OverheadSpan struct {
+	Kind  string  // "fit" or "solve"
+	Start float64 // engine seconds
+	End   float64
+}
+
 // Distribution is a block-size split recorded by a scheduler (Fig. 6).
 type Distribution struct {
 	Label string    // e.g. "modeling-phase"
@@ -277,6 +288,19 @@ type Report struct {
 	// by rung label ("last-good", "hdss", "greedy", "recovered"); nil when
 	// the ladder never engaged.
 	SolverFallbacks map[string]int64
+	// OverheadSpans lists every fit/solve interval charged to the master's
+	// clock, in charge order (simulation engine only; empty on the live
+	// engine or when overheads are disabled). The critical-path analyzer
+	// uses them to attribute PU stalls to solver overhead.
+	OverheadSpans []OverheadSpan
+	// Latency is the streaming sketch over per-block submit→completion
+	// latencies (TaskRecord.TotalSeconds); nil when the run completed no
+	// blocks. LatencyP50/P99/P999 are its quantiles at run end.
+	Latency    *stats.QuantileSketch
+	LatencyP50 float64
+	LatencyP99 float64
+	// LatencyP999 is the p99.9 per-block latency in seconds.
+	LatencyP999 float64
 }
 
 // engine abstracts the two execution backends.

@@ -1,0 +1,256 @@
+package stats
+
+import "math"
+
+// QuantileSketch is a fixed-memory streaming quantile estimator over
+// positive durations (seconds). It buckets observations on a logarithmic
+// grid (HDR-histogram style): bucket i covers [min·γ^i, min·γ^(i+1)) with
+// γ = 1.04, so any reported quantile is within √γ−1 ≈ 2% relative error of
+// the exact nearest-rank order statistic, at ~7 KB per sketch and O(1) per
+// observation — no sample retention, no sort.
+//
+// A log-bucketed sketch was chosen over P² (cannot merge) and t-digest
+// (merge result depends on merge order) because the experiment runner needs
+// bit-identical aggregates at any -jobs parallelism: bucket counts add
+// commutatively, and quantile values are pure functions of the counts plus
+// the exactly tracked min/max, so merging per-seed sketches in seed order
+// reproduces the sequential runner's output to the last bit.
+//
+// The zero value is an empty, ready-to-use sketch; bucket storage is
+// allocated on the first observation. A nil *QuantileSketch is valid for
+// every read accessor and reports an empty sketch.
+type QuantileSketch struct {
+	counts   []uint64
+	n        uint64
+	sum      float64
+	min, max float64 // exact extremes; quantiles are clamped into them
+	lo, hi   int     // occupied bucket index bounds (valid when n > 0)
+}
+
+// The bucket grid spans [1e-9 s, 1e6 s): below a nanosecond every duration
+// lands in bucket 0 and is reported via the exact min; above ~11.5 days
+// everything lands in the last bucket and is reported via the exact max.
+// 881 = ceil(ln(1e15)/ln(1.04)) buckets cover the span.
+const (
+	sketchGamma   = 1.04
+	sketchMinVal  = 1e-9
+	sketchBuckets = 881
+)
+
+// SketchRelativeError is the worst-case relative error of a reported
+// quantile against the exact nearest-rank order statistic: √γ − 1.
+var SketchRelativeError = math.Sqrt(sketchGamma) - 1
+
+var (
+	sketchLnGamma    = math.Log(sketchGamma)
+	sketchInvLnGamma = 1 / math.Log(sketchGamma)
+)
+
+// NewQuantileSketch returns an empty sketch.
+func NewQuantileSketch() *QuantileSketch { return &QuantileSketch{} }
+
+// sketchIndex maps a positive value to its bucket.
+func sketchIndex(v float64) int {
+	if v <= sketchMinVal {
+		return 0
+	}
+	i := int(math.Log(v/sketchMinVal) * sketchInvLnGamma)
+	if i >= sketchBuckets {
+		i = sketchBuckets - 1
+	}
+	return i
+}
+
+// sketchValue is the geometric midpoint of bucket i, the value reported for
+// any rank that lands in the bucket.
+func sketchValue(i int) float64 {
+	return sketchMinVal * math.Exp((float64(i)+0.5)*sketchLnGamma)
+}
+
+// Observe adds one duration to the sketch. NaN, ±Inf and negative values
+// are ignored. After the first observation no call allocates.
+func (s *QuantileSketch) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, sketchBuckets)
+	}
+	i := sketchIndex(v)
+	s.counts[i]++
+	if s.n == 0 {
+		s.min, s.max = v, v
+		s.lo, s.hi = i, i
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+		if i < s.lo {
+			s.lo = i
+		}
+		if i > s.hi {
+			s.hi = i
+		}
+	}
+	s.n++
+	s.sum += v
+}
+
+// Merge folds o into s. Bucket counts add, so merging is commutative and
+// associative on the counts; only the running sum is order-sensitive (last
+// ulp), which is why the runner merges in seed order. o is unchanged.
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, sketchBuckets)
+	}
+	for i := o.lo; i <= o.hi; i++ {
+		s.counts[i] += o.counts[i]
+	}
+	if s.n == 0 {
+		s.min, s.max = o.min, o.max
+		s.lo, s.hi = o.lo, o.hi
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+		if o.lo < s.lo {
+			s.lo = o.lo
+		}
+		if o.hi > s.hi {
+			s.hi = o.hi
+		}
+	}
+	s.n += o.n
+	s.sum += o.sum
+}
+
+// Count returns the number of observations.
+func (s *QuantileSketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return int64(s.n)
+}
+
+// Sum returns the sum of observations.
+func (s *QuantileSketch) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.sum
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *QuantileSketch) Mean() float64 {
+	if s == nil || s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the exact smallest observation, or 0 when empty.
+func (s *QuantileSketch) Min() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact largest observation, or 0 when empty.
+func (s *QuantileSketch) Max() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.max
+}
+
+// clamp pulls a bucket midpoint into the exactly observed range, so q→0 and
+// q→1 converge on the true extremes instead of bucket boundaries.
+func (s *QuantileSketch) clamp(v float64) float64 {
+	if v < s.min {
+		return s.min
+	}
+	if v > s.max {
+		return s.max
+	}
+	return v
+}
+
+// Quantile returns the estimated q-quantile (nearest-rank convention:
+// the value of the ⌈q·n⌉-th smallest observation), within
+// SketchRelativeError of the exact order statistic. q ≤ 0 yields the exact
+// min, q ≥ 1 the exact max, an empty (or nil) sketch 0.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s == nil || s.n == 0 {
+		return 0
+	}
+	if !(q > 0) { // q ≤ 0, or NaN
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := uint64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := s.lo; i <= s.hi; i++ {
+		cum += s.counts[i]
+		if cum >= rank {
+			return s.clamp(sketchValue(i))
+		}
+	}
+	return s.max
+}
+
+// QuantilesInto fills dst[i] with Quantile(qs[i]) in one pass over the
+// occupied buckets. qs must be sorted ascending; dst must be at least as
+// long as qs. It never allocates, making it cheap enough for per-event
+// metric-gauge refreshes.
+func (s *QuantileSketch) QuantilesInto(qs, dst []float64) {
+	if s == nil || s.n == 0 {
+		for i := range qs {
+			dst[i] = 0
+		}
+		return
+	}
+	j := 0
+	for j < len(qs) && !(qs[j] > 0) {
+		dst[j] = s.min
+		j++
+	}
+	var cum uint64
+	i := s.lo
+	for ; j < len(qs); j++ {
+		if qs[j] >= 1 {
+			dst[j] = s.max
+			continue
+		}
+		rank := uint64(math.Ceil(qs[j] * float64(s.n)))
+		if rank < 1 {
+			rank = 1
+		}
+		for i <= s.hi {
+			if cum+s.counts[i] >= rank {
+				break
+			}
+			cum += s.counts[i]
+			i++
+		}
+		if i > s.hi {
+			dst[j] = s.max
+			continue
+		}
+		dst[j] = s.clamp(sketchValue(i))
+	}
+}

@@ -1,18 +1,53 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
+	"sync/atomic"
 )
+
+// AttributionStore publishes the latest run's critical-path attribution
+// (blame vector, latency percentiles, top chains) for the /debug/attribution
+// endpoint. Publish marshals once and swaps an immutable snapshot in with a
+// single atomic store, so serving never blocks a running engine and the
+// serve/shutdown/publish race is benign — see TestAttributionEndpoint.
+type AttributionStore struct {
+	latest atomic.Pointer[[]byte]
+}
+
+// Publish marshals v to JSON and makes it the endpoint's current document.
+func (a *AttributionStore) Publish(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	a.latest.Store(&b)
+	return nil
+}
+
+// Latest returns the current document, or nil when nothing was published.
+func (a *AttributionStore) Latest() []byte {
+	if a == nil {
+		return nil
+	}
+	if p := a.latest.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Handler returns an http.Handler exposing the registry:
 //
-//	GET /metrics  — Prometheus text exposition (version 0.0.4)
-//	GET /healthz  — 200 "ok" liveness probe
+//	GET /metrics            — Prometheus text exposition (version 0.0.4)
+//	GET /healthz            — 200 "ok" liveness probe
+//	GET /debug/attribution  — latest run's blame vector as JSON
+//	                          (404 until something is published)
 //
-// Stdlib only; mount it wherever a watcher is wanted (cmd/plbsim -listen,
-// the live engine, tests via httptest).
-func Handler(reg *Registry) http.Handler {
+// att may be nil, in which case /debug/attribution always 404s. Stdlib
+// only; mount it wherever a watcher is wanted (cmd/plbsim -listen, the
+// live engine, tests via httptest).
+func Handler(reg *Registry, att *AttributionStore) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -25,21 +60,30 @@ func Handler(reg *Registry) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/debug/attribution", func(w http.ResponseWriter, r *http.Request) {
+		doc := att.Latest()
+		if doc == nil {
+			http.Error(w, "no attribution published yet\n", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(doc)
+	})
 	return mux
 }
 
-// ListenAndServe starts serving Handler(reg) on addr in a background
+// ListenAndServe starts serving Handler(reg, att) on addr in a background
 // goroutine. It returns the server (for Shutdown/Close), the bound address
 // (useful when addr requests an ephemeral port, ":0"), and a channel that
 // reports how serving ended: it receives the error that stopped Serve (nil
 // after a clean Shutdown/Close) and is then closed, so a dead /metrics
 // endpoint can no longer fail silently.
-func ListenAndServe(addr string, reg *Registry) (*http.Server, net.Addr, <-chan error, error) {
+func ListenAndServe(addr string, reg *Registry, att *AttributionStore) (*http.Server, net.Addr, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, att)}
 	errc := make(chan error, 1)
 	go func() {
 		err := srv.Serve(ln)

@@ -15,8 +15,12 @@ import (
 //
 //   - pid 1 "engine": one thread per processing unit carrying kernel-
 //     execution slices, plus a "scheduler" thread with async slices for
-//     scheduler phases and instant markers (fits, solves, rebalances,
-//     failovers, distribution changes).
+//     scheduler phases, master-side fit/solve overhead slices, and instant
+//     markers (fits, solves, rebalances, distribution changes); a
+//     "resilience" thread with failover/requeue/recovery/blacklist/
+//     speculation markers and speculation-race flow arrows; and a "ladder"
+//     thread with degradation-ladder transitions. The resilience and ladder
+//     threads appear only when the run produced such events.
 //   - pid 2 "links": one thread per communication link (NIC, PCIe, live
 //     worker queues) carrying occupancy slices.
 //
@@ -27,6 +31,24 @@ type PerfettoSink struct {
 
 	linkTID map[string]int
 	linkOrd []string
+
+	// critical is the run's critical path (SetCriticalFlow); Write renders
+	// it as a chain of flow arrows across the unit tracks.
+	critical []FlowPoint
+}
+
+// FlowPoint is one anchor of the critical-path flow chain: the critical
+// chain passed through unit PU (−1: the scheduler track) at Time seconds.
+type FlowPoint struct {
+	PU   int
+	Time float64
+}
+
+// SetCriticalFlow records the run's critical path for rendering. Call it
+// after the run, before Write, with one point per critical-chain step
+// boundary (e.g. from the Steps of the top chain of a span analysis).
+func (p *PerfettoSink) SetCriticalFlow(points []FlowPoint) {
+	p.critical = append(p.critical[:0], points...)
 }
 
 // NewPerfettoSink returns a sink for a run over the given processing units
@@ -55,6 +77,8 @@ const (
 	pidEngine = 1
 	pidLinks  = 2
 	tidSched  = 1000 // scheduler track, clear of any realistic PU count
+	tidResil  = 1001 // resilience track: failovers, requeues, speculation
+	tidLadder = 1002 // degradation-ladder track: fallback transitions
 )
 
 // perfettoEvent is one trace_event entry. Every entry carries the four
@@ -69,6 +93,7 @@ type perfettoEvent struct {
 	Cat   string         `json:"cat,omitempty"`
 	ID    int            `json:"id,omitempty"`
 	Scope string         `json:"s,omitempty"`
+	Bp    string         `json:"bp,omitempty"` // flow binding point ("e": enclosing slice)
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -96,14 +121,29 @@ func (p *PerfettoSink) Write(w io.Writer) error {
 		meta(pidEngine, i, "thread_name", n)
 	}
 	meta(pidEngine, tidSched, "thread_name", "scheduler")
+	var hasResil, hasLadder bool
+	for _, ev := range p.events {
+		switch ev.Kind {
+		case EvFailover, EvRequeue, EvRecovery, EvBlacklist, EvSpeculate:
+			hasResil = true
+		case EvFallback:
+			hasLadder = true
+		}
+	}
+	if hasResil {
+		meta(pidEngine, tidResil, "thread_name", "resilience")
+	}
+	if hasLadder {
+		meta(pidEngine, tidLadder, "thread_name", "ladder")
+	}
 	for name, tid := range p.linkTID {
 		meta(pidLinks, tid, "thread_name", name)
 	}
 
-	instant := func(ev Event, name string, args map[string]any) {
+	instant := func(ev Event, tid int, name string, args map[string]any) {
 		out = append(out, perfettoEvent{
 			Name: name, Ph: "i", Ts: ev.Time * usPerSec,
-			Pid: pidEngine, Tid: tidSched, Scope: "t", Args: args,
+			Pid: pidEngine, Tid: tid, Scope: "t", Args: args,
 		})
 	}
 
@@ -113,6 +153,8 @@ func (p *PerfettoSink) Write(w io.Writer) error {
 		phaseStart float64
 		phaseID    int
 		maxTs      float64
+		flowID     = 1 << 20       // clear of the phase id space
+		specFlow   = map[int]int{} // open speculation races: seq → flow id
 	)
 	closePhase := func(end float64) {
 		if !phaseOpen {
@@ -153,37 +195,87 @@ func (p *PerfettoSink) Write(w io.Writer) error {
 		case EvPhase:
 			closePhase(ev.Time)
 			phaseOpen, phaseName, phaseStart = true, ev.Name, ev.Time
+		case EvOverhead:
+			out = append(out, perfettoEvent{
+				Name: ev.Name, Ph: "X",
+				Ts: ev.Time * usPerSec, Dur: (ev.End - ev.Time) * usPerSec,
+				Pid: pidEngine, Tid: tidSched, Cat: "overhead",
+			})
 		case EvDistribution:
-			instant(ev, "distribution: "+ev.Name, map[string]any{"shares": ev.Shares})
+			instant(ev, tidSched, "distribution: "+ev.Name, map[string]any{"shares": ev.Shares})
 		case EvFit:
 			if ev.PU >= 0 {
-				instant(ev, "fit", map[string]any{"pu": ev.PU, "rmse": ev.Value, "r2": ev.Aux})
+				instant(ev, tidSched, "fit", map[string]any{"pu": ev.PU, "rmse": ev.Value, "r2": ev.Aux})
 			}
 		case EvSolve:
-			instant(ev, "solve: "+ev.Name, map[string]any{"iterations": ev.Value, "residual": ev.Aux})
+			instant(ev, tidSched, "solve: "+ev.Name, map[string]any{"iterations": ev.Value, "residual": ev.Aux})
 		case EvCoverage:
-			instant(ev, "coverage", map[string]any{"ratio": ev.Value})
+			instant(ev, tidSched, "coverage", map[string]any{"ratio": ev.Value})
 		case EvRebalance:
-			instant(ev, "rebalance: "+ev.Name, nil)
+			instant(ev, tidSched, "rebalance: "+ev.Name, nil)
 		case EvFailover:
-			instant(ev, "failover: "+ev.Name, map[string]any{"pu": ev.PU})
+			instant(ev, tidResil, "failover: "+ev.Name, map[string]any{"pu": ev.PU})
 		case EvKeepAlive:
-			instant(ev, "keep-alive", map[string]any{"pu": ev.PU})
+			instant(ev, tidSched, "keep-alive", map[string]any{"pu": ev.PU})
 		case EvRequeue:
-			instant(ev, "requeue", map[string]any{"pu": ev.PU, "seq": ev.Seq, "units": ev.Units})
+			instant(ev, tidResil, "requeue", map[string]any{"pu": ev.PU, "seq": ev.Seq, "units": ev.Units})
 		case EvRecovery:
-			instant(ev, "recovery: "+ev.Name, map[string]any{"pu": ev.PU})
+			instant(ev, tidResil, "recovery: "+ev.Name, map[string]any{"pu": ev.PU})
 		case EvBlacklist:
-			instant(ev, "blacklist: "+ev.Name, map[string]any{"pu": ev.PU})
+			instant(ev, tidResil, "blacklist: "+ev.Name, map[string]any{"pu": ev.PU})
 		case EvSpeculate:
-			instant(ev, "speculate: "+ev.Name, map[string]any{
+			instant(ev, tidResil, "speculate: "+ev.Name, map[string]any{
 				"pu": ev.PU, "seq": ev.Seq, "units": ev.Units, "backup": ev.Value,
 			})
+			// A resolved race also draws a flow arrow from the original
+			// copy's unit at launch time to the resolving unit — the pair is
+			// matched by seq-keyed id.
+			switch ev.Name {
+			case "launch":
+				flowID++
+				specFlow[ev.Seq] = flowID
+				out = append(out, perfettoEvent{
+					Name: "speculation", Ph: "s", Ts: ev.Time * usPerSec,
+					Pid: pidEngine, Tid: ev.PU, Cat: "spec", ID: flowID,
+				})
+			case "win", "wasted":
+				if id, ok := specFlow[ev.Seq]; ok {
+					delete(specFlow, ev.Seq)
+					out = append(out, perfettoEvent{
+						Name: "speculation", Ph: "f", Ts: ev.Time * usPerSec,
+						Pid: pidEngine, Tid: int(ev.Value), Cat: "spec",
+						ID: id, Bp: "e",
+					})
+				}
+			}
 		case EvFallback:
-			instant(ev, "fallback: "+ev.Name, map[string]any{"rung": ev.Value})
+			instant(ev, tidLadder, "fallback: "+ev.Name, map[string]any{"rung": ev.Value})
 		}
 	}
 	closePhase(maxTs)
+
+	// The critical-path chain: one flow arrow sequence threaded through the
+	// unit tracks at each step boundary.
+	if len(p.critical) > 1 {
+		flowID++
+		for i, pt := range p.critical {
+			ph := "t"
+			switch i {
+			case 0:
+				ph = "s"
+			case len(p.critical) - 1:
+				ph = "f"
+			}
+			tid := pt.PU
+			if tid < 0 {
+				tid = tidSched
+			}
+			out = append(out, perfettoEvent{
+				Name: "critical-path", Ph: ph, Ts: pt.Time * usPerSec,
+				Pid: pidEngine, Tid: tid, Cat: "critical", ID: flowID, Bp: "e",
+			})
+		}
+	}
 
 	// Monotonic timestamps keep every trace_event consumer happy; sort is
 	// stable so same-ts events keep emission order ("b" before "e").

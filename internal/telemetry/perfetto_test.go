@@ -92,6 +92,108 @@ func TestPerfettoShape(t *testing.T) {
 	}
 }
 
+// TestPerfettoResilienceTracks covers the gap-fill: requeue, speculation,
+// blacklist and recovery markers land on a named "resilience" thread,
+// fallbacks on a "ladder" thread, fit/solve overhead renders as slices on
+// the scheduler track, and a resolved speculation race draws a flow-arrow
+// pair. The extra tracks only exist when the run produced such events.
+func TestPerfettoResilienceTracks(t *testing.T) {
+	p := feedPerfetto()
+	p.Consume(Event{Kind: EvOverhead, Time: 1.3, End: 1.4, PU: -1, Name: "solve"})
+	p.Consume(Event{Kind: EvRequeue, Time: 3.0, PU: 0, Seq: 5, Units: 64})
+	p.Consume(Event{Kind: EvBlacklist, Time: 3.1, Name: "m1/cpu", PU: 0})
+	p.Consume(Event{Kind: EvRecovery, Time: 3.2, Name: "m1/cpu", PU: 0})
+	p.Consume(Event{Kind: EvSpeculate, Time: 3.3, Name: "launch", PU: 0, Seq: 6, Units: 64, Value: 1})
+	p.Consume(Event{Kind: EvSpeculate, Time: 3.6, Name: "win", PU: 0, Seq: 6, Units: 64, Value: 1})
+	p.Consume(Event{Kind: EvFallback, Time: 3.7, Name: "hdss", Value: 1})
+	p.SetCriticalFlow([]FlowPoint{{PU: -1, Time: 0}, {PU: 0, Time: 1.1}, {PU: 1, Time: 2.9}})
+
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+
+	// Thread-name metadata: every expected track, exactly once each.
+	tracks := map[string]float64{}
+	for _, ev := range top.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			name := ev["args"].(map[string]any)["name"].(string)
+			if _, dup := tracks[name]; dup {
+				t.Errorf("duplicate thread_name %q", name)
+			}
+			tracks[name] = ev["tid"].(float64)
+		}
+	}
+	for name, tid := range map[string]float64{
+		"m1/cpu": 0, "m1/gpu": 1, "scheduler": 1000, "resilience": 1001, "ladder": 1002,
+	} {
+		if got, ok := tracks[name]; !ok || got != tid {
+			t.Errorf("track %q: tid = %v, present = %v, want %v", name, got, ok, tid)
+		}
+	}
+
+	// The gap-fill markers sit on their tracks; the overhead slice on the
+	// scheduler's.
+	onTid := func(name string) float64 {
+		t.Helper()
+		for _, ev := range top.TraceEvents {
+			if n, _ := ev["name"].(string); n == name {
+				return ev["tid"].(float64)
+			}
+		}
+		t.Fatalf("no event named %q", name)
+		return -1
+	}
+	for name, tid := range map[string]float64{
+		"requeue":           1001,
+		"blacklist: m1/cpu": 1001,
+		"recovery: m1/cpu":  1001,
+		"speculate: launch": 1001,
+		"fallback: hdss":    1002,
+		"solve":             1000,
+	} {
+		if got := onTid(name); got != tid {
+			t.Errorf("%q on tid %v, want %v", name, got, tid)
+		}
+	}
+
+	// Flow arrows: the speculation race pair and the critical-path chain.
+	flows := map[string][]string{}
+	for _, ev := range top.TraceEvents {
+		ph := ev["ph"].(string)
+		if ph == "s" || ph == "t" || ph == "f" {
+			name := ev["name"].(string)
+			flows[name] = append(flows[name], ph)
+		}
+	}
+	if got := flows["speculation"]; len(got) != 2 || got[0] != "s" || got[1] != "f" {
+		t.Errorf("speculation flow phases = %v, want [s f]", got)
+	}
+	if got := flows["critical-path"]; len(got) != 3 || got[0] != "s" || got[1] != "t" || got[2] != "f" {
+		t.Errorf("critical-path flow phases = %v, want [s t f]", got)
+	}
+}
+
+// Without resilience or ladder events the extra tracks stay out of the
+// trace, keeping small runs small.
+func TestPerfettoNoSpuriousTracks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := feedPerfetto().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"resilience", "ladder"} {
+		if bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Errorf("track %q present in a run without its events", name)
+		}
+	}
+}
+
 func TestPerfettoDetachesShares(t *testing.T) {
 	p := NewPerfettoSink([]string{"a"})
 	shares := []float64{0.5, 0.5}

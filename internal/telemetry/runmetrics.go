@@ -1,6 +1,10 @@
 package telemetry
 
-import "math"
+import (
+	"math"
+
+	"plbhec/internal/stats"
+)
 
 // RunMetrics is the canonical event→metric projection: attach one to a
 // session's telemetry hub and the registry fills with the plbhec_* metric
@@ -18,6 +22,15 @@ type RunMetrics struct {
 	fitRMSE, fitR2       []*Gauge
 
 	execHist *Histogram
+
+	// latSketch streams per-block end-to-end latencies (submit→complete)
+	// through a fixed-memory quantile sketch; the three gauges are
+	// refreshed on every completion so /metrics always shows the current
+	// run's p50/p99/p999.
+	latSketch    *stats.QuantileSketch
+	latGauges    [3]*Gauge
+	latQuantiles [3]float64
+	latValues    [3]float64
 
 	linkBusy map[string]*Counter
 
@@ -56,6 +69,7 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_pu_transfer_seconds", "Cumulative data-movement seconds per processing unit")
 	reg.Help("plbhec_pu_inflight", "Blocks currently assigned but unfinished per processing unit")
 	reg.Help("plbhec_task_exec_seconds", "Distribution of per-block kernel execution times")
+	reg.Help("plbhec_task_latency_seconds", "Streaming per-block submit-to-complete latency quantiles")
 	reg.Help("plbhec_link_busy_seconds", "Cumulative occupancy seconds per communication link")
 	reg.Help("plbhec_sched_phase_transitions_total", "Scheduler phase entries by phase name")
 	reg.Help("plbhec_sched_phase", "Current scheduler phase as a numeric code (order of first appearance)")
@@ -101,6 +115,11 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 		m.fitR2[i] = reg.Gauge("plbhec_fit_r2", l)
 	}
 	m.execHist = reg.Histogram("plbhec_task_exec_seconds", ExpBuckets(1e-4, 4, 16))
+	m.latSketch = stats.NewQuantileSketch()
+	m.latQuantiles = [3]float64{0.5, 0.99, 0.999}
+	for i, q := range []string{"0.5", "0.99", "0.999"} {
+		m.latGauges[i] = reg.Gauge("plbhec_task_latency_seconds", Label{"quantile", q})
+	}
 	m.phase = reg.Gauge("plbhec_sched_phase")
 	m.fits = reg.Counter("plbhec_model_fits_total")
 	m.solves = reg.Counter("plbhec_ipm_solves_total")
@@ -141,6 +160,11 @@ func (m *RunMetrics) Consume(ev Event) {
 			m.busy[ev.PU].Add(exec)
 			m.transfer[ev.PU].Add(ev.TransferEnd - ev.TransferStart)
 			m.execHist.Observe(exec)
+			m.latSketch.Observe(ev.End - ev.Time)
+			m.latSketch.QuantilesInto(m.latQuantiles[:], m.latValues[:])
+			for i, g := range m.latGauges {
+				g.Set(m.latValues[i])
+			}
 		}
 	case EvLinkSample:
 		c, ok := m.linkBusy[ev.Name]

@@ -1,0 +1,531 @@
+package span
+
+import (
+	"sort"
+
+	"plbhec/internal/stats"
+)
+
+// Category is a time-attribution bucket of the blame vector. Every instant
+// of every processing unit's timeline is attributed to exactly one
+// category, so the vector sums to 1 by construction.
+type Category uint8
+
+// The blame categories, in attribution-priority order: when a unit's
+// instant is covered by several activities, the highest-priority one wins.
+const (
+	// CatCompute: the unit was executing a kernel.
+	CatCompute Category = iota
+	// CatTransfer: the unit's next block was moving data (sim: NIC/PCIe
+	// occupancy; live: queue wait, see KindTransfer).
+	CatTransfer
+	// CatSpec: the unit was burning time on the losing copy of a
+	// speculation race.
+	CatSpec
+	// CatSolver: the unit was stalled behind the master's fit/solve
+	// computations — a queued block (or an idle unit) waiting out an
+	// overhead interval.
+	CatSolver
+	// CatQueue: a block was submitted to the unit but neither moving nor
+	// executing — queue imbalance.
+	CatQueue
+	// CatIdle: nothing was assigned: the unit starved.
+	CatIdle
+	numCategories
+)
+
+// String names the category for tables and JSON.
+func (c Category) String() string {
+	switch c {
+	case CatCompute:
+		return "compute"
+	case CatTransfer:
+		return "transfer"
+	case CatSpec:
+		return "speculation"
+	case CatSolver:
+		return "solver"
+	case CatQueue:
+		return "queue"
+	case CatIdle:
+		return "idle"
+	}
+	return "unknown"
+}
+
+// MarshalText renders the category name in JSON payloads
+// (/debug/attribution).
+func (c Category) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// Blame is the run's time-attribution vector. As fractions (Analysis.Blame)
+// the fields sum to 1: every unit-second of numPU × makespan is attributed
+// to exactly one category.
+type Blame struct {
+	Compute  float64 `json:"compute"`
+	Transfer float64 `json:"transfer"`
+	Queue    float64 `json:"queue"`
+	Solver   float64 `json:"solver"`
+	Spec     float64 `json:"speculation"`
+	Idle     float64 `json:"idle"`
+}
+
+// Sum returns the total of all categories (≈1 for fractions).
+func (b Blame) Sum() float64 {
+	return b.Compute + b.Transfer + b.Queue + b.Solver + b.Spec + b.Idle
+}
+
+// add accumulates sec into the category's field.
+func (b *Blame) add(c Category, sec float64) {
+	switch c {
+	case CatCompute:
+		b.Compute += sec
+	case CatTransfer:
+		b.Transfer += sec
+	case CatSpec:
+		b.Spec += sec
+	case CatSolver:
+		b.Solver += sec
+	case CatQueue:
+		b.Queue += sec
+	case CatIdle:
+		b.Idle += sec
+	}
+}
+
+// Get returns the category's field.
+func (b Blame) Get(c Category) float64 {
+	switch c {
+	case CatCompute:
+		return b.Compute
+	case CatTransfer:
+		return b.Transfer
+	case CatSpec:
+		return b.Spec
+	case CatSolver:
+		return b.Solver
+	case CatQueue:
+		return b.Queue
+	case CatIdle:
+		return b.Idle
+	}
+	return 0
+}
+
+// Categories lists every category in attribution-priority order.
+func Categories() []Category {
+	return []Category{CatCompute, CatTransfer, CatSpec, CatSolver, CatQueue, CatIdle}
+}
+
+// Step is one segment of a critical chain: during [Start, End] the chain's
+// progress was bounded by Cat on unit PU (PU = -1 for master-side and idle
+// segments; Seq = -1 when the segment is not tied to one block).
+type Step struct {
+	Cat   Category `json:"cat"`
+	PU    int32    `json:"pu"`
+	Seq   int32    `json:"seq"`
+	Start float64  `json:"start"`
+	End   float64  `json:"end"`
+}
+
+// Chain is one critical chain: a contiguous sequence of steps from t≈0 to
+// the finish time of its tail block, each step naming what bounded progress
+// then. Steps are in ascending time order and tile the interval exactly, so
+// their durations sum to the tail's finish time.
+type Chain struct {
+	PU    int32   `json:"pu"`  // the tail block's unit
+	End   float64 `json:"end"` // the tail block's finish time
+	Steps []Step  `json:"steps"`
+	// Attributed sums the steps' durations by category — the chain's own
+	// blame decomposition, in seconds.
+	Attributed Blame `json:"attributed"`
+}
+
+// Analysis is the critical-path attribution of one completed run.
+type Analysis struct {
+	Makespan float64 `json:"makespan_seconds"`
+	NumPU    int     `json:"num_pu"`
+	Blocks   int     `json:"blocks"`
+	// Blame is the fraction-of-total-unit-time attribution (sums to 1);
+	// Seconds is the same vector in absolute unit-seconds.
+	Blame   Blame `json:"blame"`
+	Seconds Blame `json:"seconds"`
+	// Chains are the top-k critical chains, one per distinct tail unit,
+	// latest-finishing first. Chains[0] ends at the makespan.
+	Chains []Chain `json:"chains"`
+	// Per-block submit→completion latency percentiles and their sketch.
+	LatencyP50  float64               `json:"latency_p50_seconds"`
+	LatencyP99  float64               `json:"latency_p99_seconds"`
+	LatencyP999 float64               `json:"latency_p999_seconds"`
+	Latency     *stats.QuantileSketch `json:"-"`
+}
+
+const chainEps = 1e-9
+
+// iv is a half-open activity interval.
+type iv struct{ a, b float64 }
+
+// mergeIvs sorts and unions overlapping or abutting intervals in place.
+func mergeIvs(ivs []iv) []iv {
+	if len(ivs) < 2 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	out := ivs[:1]
+	for _, v := range ivs[1:] {
+		last := &out[len(out)-1]
+		if v.a <= last.b {
+			if v.b > last.b {
+				last.b = v.b
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// cursor walks a merged interval list alongside ascending probe times.
+type cursor struct {
+	ivs []iv
+	k   int
+}
+
+func (c *cursor) covers(t float64) bool {
+	for c.k < len(c.ivs) && c.ivs[c.k].b <= t {
+		c.k++
+	}
+	return c.k < len(c.ivs) && c.ivs[c.k].a <= t
+}
+
+// Analyze walks a completed span DAG (Recorder.Spans or FromReport output,
+// where Span.ID equals the slice index) and produces the run's blame vector,
+// its top-k critical chains and the per-block latency percentiles. A run
+// with no compute spans yields a zeroed analysis.
+func Analyze(spans []Span, topK int) *Analysis {
+	an := &Analysis{}
+	numPU := 0
+	for _, sp := range spans {
+		if int(sp.PU) >= numPU {
+			numPU = int(sp.PU) + 1
+		}
+		if sp.Kind == KindCompute {
+			an.Blocks++
+			if sp.End > an.Makespan {
+				an.Makespan = sp.End
+			}
+		}
+	}
+	an.NumPU = numPU
+	if an.Blocks == 0 || an.Makespan <= 0 || numPU == 0 {
+		return an
+	}
+
+	// Bucket every activity interval by unit and category, clipped to
+	// [0, makespan] (a final solve can outlast the last completion).
+	clip := func(sp Span) (iv, bool) {
+		v := iv{sp.Start, sp.End}
+		if v.b > an.Makespan {
+			v.b = an.Makespan
+		}
+		if v.a < 0 {
+			v.a = 0
+		}
+		return v, v.b > v.a
+	}
+	perPU := make([][4][]iv, numPU) // compute, transfer, spec, queueish
+	var solver []iv
+	for _, sp := range spans {
+		v, ok := clip(sp)
+		if !ok {
+			continue
+		}
+		switch sp.Kind {
+		case KindCompute:
+			perPU[sp.PU][0] = append(perPU[sp.PU][0], v)
+		case KindTransfer:
+			perPU[sp.PU][1] = append(perPU[sp.PU][1], v)
+		case KindSpeculate:
+			if sp.PU >= 0 {
+				perPU[sp.PU][2] = append(perPU[sp.PU][2], v)
+			}
+		case KindQueue, KindWait:
+			perPU[sp.PU][3] = append(perPU[sp.PU][3], v)
+		case KindOverhead:
+			solver = append(solver, v)
+		}
+	}
+	solver = mergeIvs(solver)
+
+	// Per unit: decompose [0, makespan] into elementary segments and charge
+	// each to the highest-priority active category.
+	var bounds []float64
+	for pu := 0; pu < numPU; pu++ {
+		lists := &perPU[pu]
+		bounds = bounds[:0]
+		bounds = append(bounds, 0, an.Makespan)
+		for c := 0; c < 4; c++ {
+			lists[c] = mergeIvs(lists[c])
+			for _, v := range lists[c] {
+				bounds = append(bounds, v.a, v.b)
+			}
+		}
+		for _, v := range solver {
+			bounds = append(bounds, v.a, v.b)
+		}
+		sort.Float64s(bounds)
+		cur := [4]cursor{{ivs: lists[0]}, {ivs: lists[1]}, {ivs: lists[2]}, {ivs: lists[3]}}
+		sol := cursor{ivs: solver}
+		prev := 0.0
+		for _, b := range bounds {
+			if b <= prev || b > an.Makespan {
+				continue
+			}
+			m := (prev + b) / 2
+			var cat Category
+			switch {
+			case cur[0].covers(m):
+				cat = CatCompute
+			case cur[1].covers(m):
+				cat = CatTransfer
+			case cur[2].covers(m):
+				cat = CatSpec
+			case cur[3].covers(m):
+				cat = CatQueue
+				if sol.covers(m) {
+					cat = CatSolver
+				}
+			case sol.covers(m):
+				cat = CatSolver
+			default:
+				cat = CatIdle
+			}
+			an.Seconds.add(cat, b-prev)
+			prev = b
+		}
+	}
+	total := float64(numPU) * an.Makespan
+	for _, c := range Categories() {
+		an.Blame.add(c, an.Seconds.Get(c)/total)
+	}
+
+	// Per-block latency: each compute span's chain root starts at the
+	// block's submit time.
+	sk := stats.NewQuantileSketch()
+	for _, sp := range spans {
+		if sp.Kind != KindCompute {
+			continue
+		}
+		root := sp
+		for root.Parent >= 0 {
+			root = spans[root.Parent]
+		}
+		sk.Observe(sp.End - root.Start)
+	}
+	an.Latency = sk
+	var lat [3]float64
+	sk.QuantilesInto([]float64{0.5, 0.99, 0.999}, lat[:])
+	an.LatencyP50, an.LatencyP99, an.LatencyP999 = lat[0], lat[1], lat[2]
+
+	an.Chains = buildChains(spans, numPU, solver, topK)
+	return an
+}
+
+// chainIndex pre-indexes the span arena for backward chain walks.
+type chainIndex struct {
+	spans   []Span
+	byPU    [][]int32 // compute span IDs per unit, sorted by End ascending
+	allByEn []int32   // every compute span ID, sorted by End ascending
+	solver  []iv      // merged overhead intervals
+}
+
+// prevComputeOnPU returns the compute span on pu with the largest End ≤ t,
+// excluding span `not`.
+func (ci *chainIndex) prevComputeOnPU(pu int32, t float64, not int32) (int32, bool) {
+	ids := ci.byPU[pu]
+	i := sort.Search(len(ids), func(i int) bool { return ci.spans[ids[i]].End > t })
+	for i--; i >= 0; i-- {
+		if ids[i] != not {
+			return ids[i], true
+		}
+	}
+	return 0, false
+}
+
+// triggerBefore returns the compute span (any unit) with the largest
+// End ≤ t, excluding span `not` — the completion whose TaskFinished callback
+// plausibly triggered a submission at time t.
+func (ci *chainIndex) triggerBefore(t float64, not int32) (int32, bool) {
+	ids := ci.allByEn
+	i := sort.Search(len(ids), func(i int) bool { return ci.spans[ids[i]].End > t })
+	for i--; i >= 0; i-- {
+		if ids[i] != not {
+			return ids[i], true
+		}
+	}
+	return 0, false
+}
+
+// buildChains walks one critical chain backward from each of the topK
+// latest-finishing tail blocks on distinct units.
+func buildChains(spans []Span, numPU int, solver []iv, topK int) []Chain {
+	ci := &chainIndex{spans: spans, byPU: make([][]int32, numPU), solver: solver}
+	tail := make([]int32, numPU)
+	hasTail := make([]bool, numPU)
+	for _, sp := range spans {
+		if sp.Kind != KindCompute {
+			continue
+		}
+		ci.byPU[sp.PU] = append(ci.byPU[sp.PU], sp.ID)
+		ci.allByEn = append(ci.allByEn, sp.ID)
+		if !hasTail[sp.PU] || sp.End > spans[tail[sp.PU]].End {
+			tail[sp.PU], hasTail[sp.PU] = sp.ID, true
+		}
+	}
+	byEnd := func(ids []int32) {
+		sort.Slice(ids, func(i, j int) bool { return spans[ids[i]].End < spans[ids[j]].End })
+	}
+	for pu := range ci.byPU {
+		byEnd(ci.byPU[pu])
+	}
+	byEnd(ci.allByEn)
+
+	var tails []int32
+	for pu := 0; pu < numPU; pu++ {
+		if hasTail[pu] {
+			tails = append(tails, tail[pu])
+		}
+	}
+	sort.Slice(tails, func(i, j int) bool { return spans[tails[i]].End > spans[tails[j]].End })
+	if topK > 0 && len(tails) > topK {
+		tails = tails[:topK]
+	}
+	chains := make([]Chain, 0, len(tails))
+	for _, id := range tails {
+		chains = append(chains, ci.walk(id))
+	}
+	return chains
+}
+
+// walk builds one chain backward from the tail compute span. At every point
+// it steps to the binding constraint: the block's own lifecycle parent, the
+// previous kernel on the unit (for PU-bound waits), or — across blocks —
+// the completion that triggered the submission. Gaps with no active span
+// are attributed to solver overhead where a fit/solve interval covers them
+// and to idleness elsewhere, so the steps tile [0, End] exactly.
+func (ci *chainIndex) walk(tailID int32) Chain {
+	spans := ci.spans
+	ch := Chain{PU: spans[tailID].PU, End: spans[tailID].End}
+	var steps []Step
+
+	// emit prepends (logically — slices append, reversed at the end) the
+	// segment [a, b] attributed to cat, splitting queue/idle segments that
+	// overlap solver intervals into solver sub-steps.
+	emit := func(cat Category, pu, seq int32, a, b float64) {
+		if b-a <= 0 {
+			return
+		}
+		if cat != CatQueue && cat != CatIdle {
+			steps = append(steps, Step{Cat: cat, PU: pu, Seq: seq, Start: a, End: b})
+			return
+		}
+		// Walk the merged solver intervals backward over [a, b].
+		t := b
+		i := sort.Search(len(ci.solver), func(i int) bool { return ci.solver[i].b > a })
+		var overlaps []iv
+		for ; i < len(ci.solver) && ci.solver[i].a < b; i++ {
+			v := ci.solver[i]
+			if v.a < a {
+				v.a = a
+			}
+			if v.b > b {
+				v.b = b
+			}
+			overlaps = append(overlaps, v)
+		}
+		for j := len(overlaps) - 1; j >= 0; j-- {
+			v := overlaps[j]
+			if t > v.b {
+				steps = append(steps, Step{Cat: cat, PU: pu, Seq: seq, Start: v.b, End: t})
+			}
+			steps = append(steps, Step{Cat: CatSolver, PU: -1, Seq: seq, Start: v.a, End: v.b})
+			t = v.a
+		}
+		if t > a {
+			steps = append(steps, Step{Cat: cat, PU: pu, Seq: seq, Start: a, End: t})
+		}
+	}
+
+	// jump crosses a scheduling boundary at time t: continue from the
+	// completion that triggered it, emitting any uncovered gap.
+	jump := func(t float64, not int32) (int32, bool) {
+		prev, ok := ci.triggerBefore(t+chainEps, not)
+		if !ok {
+			emit(CatIdle, -1, -1, 0, t)
+			return 0, false
+		}
+		if spans[prev].End < t {
+			emit(CatIdle, -1, -1, spans[prev].End, t)
+		}
+		return prev, true
+	}
+
+	cur := tailID
+	t := spans[tailID].End
+	for guard := 0; guard <= len(spans)+64; guard++ {
+		sp := spans[cur]
+		start := sp.Start
+		if start > t {
+			start = t
+		}
+		switch sp.Kind {
+		case KindCompute:
+			emit(CatCompute, sp.PU, sp.Seq, start, t)
+		case KindTransfer:
+			emit(CatTransfer, sp.PU, sp.Seq, start, t)
+		default: // queue or wait
+			emit(CatQueue, sp.PU, sp.Seq, start, t)
+		}
+		t = start
+		if t <= chainEps {
+			break
+		}
+		if sp.Kind == KindWait {
+			// The unit was busy with earlier kernels: bind to the previous
+			// compute on this unit when it abuts the wait's end.
+			if prev, ok := ci.prevComputeOnPU(sp.PU, sp.End+chainEps, cur); ok &&
+				spans[prev].End >= t-chainEps && spans[prev].End >= spans[prev].Start {
+				// The wait was already emitted in full; rewind t to where
+				// the blocking kernel ends so steps keep tiling.
+				if spans[prev].End < t {
+					t = spans[prev].End
+					// Trim the just-emitted wait step back to t.
+					steps[len(steps)-1].Start = t
+				}
+				cur = prev
+				continue
+			}
+		}
+		if sp.Parent >= 0 {
+			cur = sp.Parent
+			continue
+		}
+		next, ok := jump(t, cur)
+		if !ok {
+			break
+		}
+		if spans[next].End < t {
+			t = spans[next].End
+		}
+		cur = next
+	}
+
+	// Reverse into ascending time order and total up the attribution.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	ch.Steps = steps
+	for _, st := range steps {
+		ch.Attributed.add(st.Cat, st.End-st.Start)
+	}
+	return ch
+}

@@ -1,0 +1,138 @@
+package span_test
+
+import (
+	"math"
+	"testing"
+
+	"plbhec/internal/telemetry"
+	"plbhec/internal/telemetry/span"
+)
+
+// feedTimeline builds the reference two-unit timeline used by the
+// hand-computed attribution tests:
+//
+//	PU0: one block, submit 0, no transfer, compute [0, 10]
+//	PU1: one block, submit 0, transfer [0, 2], wait [2, 3], compute [3, 8]
+//	master: solve overhead [8.5, 9.0]
+//
+// Makespan 10, total unit-time 20. Expected attribution:
+//
+//	compute 15.0   transfer 2.0   queue 1.0 (the PU1 wait)
+//	solver   0.5   idle 1.5 (PU1's [8, 10] minus the solve)
+func feedTimeline() []span.Span {
+	rec := span.NewRecorder()
+	rec.Consume(telemetry.Event{Kind: telemetry.EvTaskComplete, Time: 0,
+		TransferStart: 0, TransferEnd: 0, ExecStart: 0, End: 10, PU: 0, Seq: 0, Units: 100})
+	rec.Consume(telemetry.Event{Kind: telemetry.EvTaskComplete, Time: 0,
+		TransferStart: 0, TransferEnd: 2, ExecStart: 3, End: 8, PU: 1, Seq: 1, Units: 50})
+	rec.Consume(telemetry.Event{Kind: telemetry.EvOverhead, Time: 8.5, End: 9.0, PU: -1, Name: "solve"})
+	return rec.Spans()
+}
+
+func TestAnalyzeHandComputedBlame(t *testing.T) {
+	an := span.Analyze(feedTimeline(), 2)
+	if an.Makespan != 10 || an.NumPU != 2 || an.Blocks != 2 {
+		t.Fatalf("shape wrong: makespan=%g numPU=%d blocks=%d", an.Makespan, an.NumPU, an.Blocks)
+	}
+	want := map[span.Category]float64{
+		span.CatCompute:  15.0,
+		span.CatTransfer: 2.0,
+		span.CatQueue:    1.0,
+		span.CatSolver:   0.5,
+		span.CatSpec:     0,
+		span.CatIdle:     1.5,
+	}
+	for c, w := range want {
+		if got := an.Seconds.Get(c); math.Abs(got-w) > 1e-9 {
+			t.Errorf("%v seconds = %g, want %g", c, got, w)
+		}
+		if got := an.Blame.Get(c); math.Abs(got-w/20) > 1e-12 {
+			t.Errorf("%v fraction = %g, want %g", c, got, w/20)
+		}
+	}
+	if math.Abs(an.Blame.Sum()-1) > 1e-12 {
+		t.Errorf("blame sums to %.15f", an.Blame.Sum())
+	}
+
+	// Latencies: 10 s and 8 s → nearest-rank p50 is the 1st of 2 sorted
+	// samples (8 s), within the sketch's relative error.
+	if math.Abs(an.LatencyP50-8)/8 > 0.02 {
+		t.Errorf("p50 = %g, want ≈8", an.LatencyP50)
+	}
+	if math.Abs(an.LatencyP999-10)/10 > 0.02 {
+		t.Errorf("p999 = %g, want ≈10", an.LatencyP999)
+	}
+
+	// Chains: PU0's tail sets the makespan with a single 10 s compute step;
+	// PU1's chain is transfer → wait → compute, ending at 8.
+	if len(an.Chains) != 2 {
+		t.Fatalf("want 2 chains, got %d", len(an.Chains))
+	}
+	c0 := an.Chains[0]
+	if c0.PU != 0 || c0.End != 10 || len(c0.Steps) != 1 || c0.Steps[0].Cat != span.CatCompute {
+		t.Errorf("chain 0 wrong: %+v", c0)
+	}
+	c1 := an.Chains[1]
+	if c1.PU != 1 || c1.End != 8 {
+		t.Fatalf("chain 1 wrong tail: %+v", c1)
+	}
+	wantCats := []span.Category{span.CatTransfer, span.CatQueue, span.CatCompute}
+	if len(c1.Steps) != len(wantCats) {
+		t.Fatalf("chain 1 has %d steps, want %d: %+v", len(c1.Steps), len(wantCats), c1.Steps)
+	}
+	for i, c := range wantCats {
+		if c1.Steps[i].Cat != c {
+			t.Errorf("chain 1 step %d = %v, want %v", i, c1.Steps[i].Cat, c)
+		}
+	}
+	if math.Abs(c1.Attributed.Transfer-2) > 1e-9 || math.Abs(c1.Attributed.Queue-1) > 1e-9 ||
+		math.Abs(c1.Attributed.Compute-5) > 1e-9 {
+		t.Errorf("chain 1 attribution wrong: %+v", c1.Attributed)
+	}
+}
+
+// TestAnalyzeSpeculationWaste: a losing speculation copy's burn shows up as
+// CatSpec on the loser's unit, displacing idle time only.
+func TestAnalyzeSpeculationWaste(t *testing.T) {
+	rec := span.NewRecorder()
+	// PU0 computes [0, 10]; PU1 computes [0, 4] then idles. A watchdog on
+	// PU0's block launches a backup on PU1 at t=5; the original wins at
+	// t=9, so PU1 burned [5, 9].
+	rec.Consume(telemetry.Event{Kind: telemetry.EvTaskComplete, Time: 0,
+		TransferStart: 0, TransferEnd: 0, ExecStart: 0, End: 10, PU: 0, Seq: 0, Units: 100})
+	rec.Consume(telemetry.Event{Kind: telemetry.EvTaskComplete, Time: 0,
+		TransferStart: 0, TransferEnd: 0, ExecStart: 0, End: 4, PU: 1, Seq: 1, Units: 40})
+	rec.Consume(telemetry.Event{Kind: telemetry.EvSpeculate, Time: 5, Name: "launch",
+		PU: 0, Seq: 0, Units: 100, Value: 1})
+	rec.Consume(telemetry.Event{Kind: telemetry.EvSpeculate, Time: 9, Name: "wasted",
+		PU: 0, Seq: 0, Units: 100, Value: 1})
+
+	an := span.Analyze(rec.Spans(), 1)
+	if math.Abs(an.Seconds.Spec-4) > 1e-9 {
+		t.Errorf("speculation waste = %g s, want 4", an.Seconds.Spec)
+	}
+	// PU1: compute 4 + spec 4 + idle 2; PU0: compute 10.
+	if math.Abs(an.Seconds.Idle-2) > 1e-9 {
+		t.Errorf("idle = %g s, want 2", an.Seconds.Idle)
+	}
+	if math.Abs(an.Blame.Sum()-1) > 1e-12 {
+		t.Errorf("blame sums to %g", an.Blame.Sum())
+	}
+}
+
+// TestAnalyzeEmpty: no spans, or spans without computes, degrade to a
+// zeroed analysis instead of dividing by zero.
+func TestAnalyzeEmpty(t *testing.T) {
+	for _, spans := range [][]span.Span{nil, {}} {
+		an := span.Analyze(spans, 3)
+		if an.Makespan != 0 || an.Blame.Sum() != 0 || len(an.Chains) != 0 {
+			t.Errorf("empty analysis not zeroed: %+v", an)
+		}
+	}
+	rec := span.NewRecorder()
+	rec.Consume(telemetry.Event{Kind: telemetry.EvOverhead, Time: 0, End: 1, PU: -1, Name: "fit"})
+	an := span.Analyze(rec.Spans(), 3)
+	if an.Blocks != 0 || an.Blame.Sum() != 0 {
+		t.Errorf("compute-free analysis not zeroed: %+v", an)
+	}
+}

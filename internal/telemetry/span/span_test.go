@@ -1,0 +1,338 @@
+package span_test
+
+import (
+	"math"
+	"testing"
+
+	"plbhec/internal/cluster"
+	"plbhec/internal/expt"
+	"plbhec/internal/starpu"
+	"plbhec/internal/telemetry"
+	"plbhec/internal/telemetry/span"
+)
+
+// runWithRecorder executes one simulated scenario with a span recorder
+// attached and returns both the report and the recorded DAG.
+func runWithRecorder(t *testing.T, sched expt.SchedName, size int64, machines int, seed int64) (*starpu.Report, []span.Span) {
+	t.Helper()
+	app := expt.MakeApp(expt.MM, size)
+	clu := cluster.TableI(cluster.Config{
+		Machines: machines, Seed: seed, NoiseSigma: cluster.DefaultNoiseSigma,
+	})
+	sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+	tel := telemetry.New()
+	rec := span.NewRecorder()
+	tel.Attach(rec)
+	sess.AttachTelemetry(tel)
+	s, err := expt.NewScheduler(sched, expt.InitialBlock(expt.MM, size, machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, rec.Spans()
+}
+
+// TestSpanDAGInvariants: the recorded DAG is acyclic (Parent < ID), every
+// block's lifecycle chain is contiguous from submit to completion, there is
+// exactly one compute span per task record, and the DAG's horizon equals
+// the engine makespan exactly.
+func TestSpanDAGInvariants(t *testing.T) {
+	rep, spans := runWithRecorder(t, expt.PLBHeC, 2048, 2, 1)
+
+	computes := 0
+	var horizon float64
+	for i, sp := range spans {
+		if int(sp.ID) != i {
+			t.Fatalf("span %d carries ID %d; Analyze requires ID == index", i, sp.ID)
+		}
+		if sp.Parent >= sp.ID {
+			t.Fatalf("span %d has parent %d: not topologically ordered (cycle risk)", sp.ID, sp.Parent)
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span %d runs backward: [%g, %g]", sp.ID, sp.Start, sp.End)
+		}
+		if sp.Parent >= 0 {
+			par := spans[sp.Parent]
+			if par.Kind != span.KindSpeculate && math.Abs(par.End-sp.Start) > 1e-9 {
+				t.Fatalf("span %d (%v) starts at %g but its parent ends at %g: chain not contiguous",
+					sp.ID, sp.Kind, sp.Start, par.End)
+			}
+		}
+		if sp.Kind == span.KindCompute {
+			computes++
+			if sp.End > horizon {
+				horizon = sp.End
+			}
+		}
+	}
+	if computes != len(rep.Records) {
+		t.Errorf("%d compute spans for %d task records", computes, len(rep.Records))
+	}
+	if horizon != rep.Makespan {
+		t.Errorf("span horizon %g != engine makespan %g", horizon, rep.Makespan)
+	}
+
+	// Root-to-leaf sum: every compute span's chain, walked root to leaf,
+	// covers exactly submit→completion — the record's total latency.
+	recBySeq := map[int32]starpu.TaskRecord{}
+	for _, r := range rep.Records {
+		recBySeq[int32(r.Seq)] = r
+	}
+	for _, sp := range spans {
+		if sp.Kind != span.KindCompute {
+			continue
+		}
+		root := sp
+		var chainSum float64
+		for {
+			chainSum += root.Duration()
+			if root.Parent < 0 {
+				break
+			}
+			root = spans[root.Parent]
+		}
+		r, ok := recBySeq[sp.Seq]
+		if !ok {
+			t.Fatalf("compute span for unknown seq %d", sp.Seq)
+		}
+		if want := r.TotalSeconds(); math.Abs(chainSum-want) > 1e-9*math.Max(want, 1) {
+			t.Errorf("seq %d: chain sum %g != record latency %g", sp.Seq, chainSum, want)
+		}
+		if math.Abs(root.Start-r.SubmitTime) > 1e-12 {
+			t.Errorf("seq %d: chain root starts %g, submitted %g", sp.Seq, root.Start, r.SubmitTime)
+		}
+	}
+}
+
+// TestAnalyzeBlameAndChains: on a real run the blame vector sums to 1, no
+// category is negative, solver overhead shows up for PLB-HeC (which charges
+// fit+solve time), chains tile [0, tail] contiguously, and the first
+// chain's steps sum to the makespan within float tolerance.
+func TestAnalyzeBlameAndChains(t *testing.T) {
+	rep, spans := runWithRecorder(t, expt.PLBHeC, 2048, 2, 1)
+	an := span.Analyze(spans, 3)
+
+	if an.Makespan != rep.Makespan {
+		t.Fatalf("analysis makespan %g != report %g", an.Makespan, rep.Makespan)
+	}
+	if math.Abs(an.Blame.Sum()-1) > 1e-6 {
+		t.Fatalf("blame fractions sum to %.9f, want 1", an.Blame.Sum())
+	}
+	for _, c := range span.Categories() {
+		if an.Blame.Get(c) < 0 {
+			t.Errorf("category %v is negative: %g", c, an.Blame.Get(c))
+		}
+	}
+	if an.Blame.Compute <= 0 {
+		t.Error("a completed run must attribute some compute time")
+	}
+	if an.Blame.Solver <= 0 {
+		t.Error("PLB-HeC with default overheads must attribute some solver time")
+	}
+	if len(rep.OverheadSpans) == 0 {
+		t.Error("report carries no overhead spans despite charged fits/solves")
+	}
+
+	if len(an.Chains) == 0 {
+		t.Fatal("no critical chains")
+	}
+	if an.Chains[0].End != an.Makespan {
+		t.Errorf("first chain ends at %g, want makespan %g", an.Chains[0].End, an.Makespan)
+	}
+	for ci, ch := range an.Chains {
+		if len(ch.Steps) == 0 {
+			t.Fatalf("chain %d is empty", ci)
+		}
+		var sum float64
+		for si, st := range ch.Steps {
+			if st.End < st.Start {
+				t.Fatalf("chain %d step %d runs backward", ci, si)
+			}
+			sum += st.End - st.Start
+			if si > 0 && math.Abs(ch.Steps[si-1].End-st.Start) > 1e-9 {
+				t.Fatalf("chain %d: step %d starts %g, previous ends %g — not contiguous",
+					ci, si, st.Start, ch.Steps[si-1].End)
+			}
+		}
+		if head := ch.Steps[0].Start; head > 1e-6 {
+			t.Errorf("chain %d starts at %g, want ≈0", ci, head)
+		}
+		if math.Abs(sum-ch.End) > 1e-6*math.Max(ch.End, 1) {
+			t.Errorf("chain %d steps sum %g != chain end %g", ci, sum, ch.End)
+		}
+		if math.Abs(ch.Attributed.Sum()-sum) > 1e-9*math.Max(sum, 1) {
+			t.Errorf("chain %d attributed sum %g != step sum %g", ci, ch.Attributed.Sum(), sum)
+		}
+	}
+
+	// Latency percentiles are populated and ordered.
+	if !(an.LatencyP50 > 0 && an.LatencyP50 <= an.LatencyP99 && an.LatencyP99 <= an.LatencyP999) {
+		t.Errorf("latency percentiles out of order: p50=%g p99=%g p999=%g",
+			an.LatencyP50, an.LatencyP99, an.LatencyP999)
+	}
+	if an.Latency.Count() != int64(len(rep.Records)) {
+		t.Errorf("latency sketch holds %d samples for %d records", an.Latency.Count(), len(rep.Records))
+	}
+}
+
+// TestFromReportMatchesRecorder: the offline reconstruction covers the same
+// lifecycle DAG (and therefore the same blame, modulo speculation spans
+// that only exist in the live event stream).
+func TestFromReportMatchesRecorder(t *testing.T) {
+	rep, live := runWithRecorder(t, expt.HDSS, 1024, 1, 2)
+	offline := span.FromReport(rep)
+
+	countKinds := func(spans []span.Span) map[span.Kind]int {
+		m := map[span.Kind]int{}
+		for _, sp := range spans {
+			m[sp.Kind]++
+		}
+		return m
+	}
+	lm, om := countKinds(live), countKinds(offline)
+	for _, k := range []span.Kind{span.KindQueue, span.KindTransfer, span.KindWait, span.KindCompute, span.KindOverhead} {
+		if lm[k] != om[k] {
+			t.Errorf("%v spans: live %d vs offline %d", k, lm[k], om[k])
+		}
+	}
+
+	al, ao := span.Analyze(live, 1), span.Analyze(offline, 1)
+	if al.Makespan != ao.Makespan {
+		t.Errorf("makespan drifted offline: %g vs %g", al.Makespan, ao.Makespan)
+	}
+	if math.Abs(al.Blame.Sum()-1) > 1e-6 || math.Abs(ao.Blame.Sum()-1) > 1e-6 {
+		t.Errorf("blame sums: live %g offline %g, want 1", al.Blame.Sum(), ao.Blame.Sum())
+	}
+	for _, c := range span.Categories() {
+		if math.Abs(al.Blame.Get(c)-ao.Blame.Get(c)) > 1e-9 {
+			t.Errorf("category %v: live %g vs offline %g", c, al.Blame.Get(c), ao.Blame.Get(c))
+		}
+	}
+}
+
+// TestLiveEngineEmitsSpans: the recorder works unchanged on the live
+// goroutine engine — spans for every block, an acyclic chain, blame sums
+// to 1.
+func TestLiveEngineEmitsSpans(t *testing.T) {
+	k := nopKernel{}
+	sess := starpu.NewLiveSession(k, starpu.LiveConfig{
+		Workers:    []starpu.LiveWorkerSpec{{Name: "w0"}, {Name: "w1"}},
+		TotalUnits: 300,
+		AppName:    "nop",
+	})
+	tel := telemetry.New()
+	rec := span.NewRecorder()
+	tel.Attach(rec)
+	sess.AttachTelemetry(tel)
+	s, err := expt.NewScheduler(expt.Greedy, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	computes := 0
+	for _, sp := range spans {
+		if sp.Parent >= sp.ID {
+			t.Fatalf("live span %d has parent %d", sp.ID, sp.Parent)
+		}
+		if sp.Kind == span.KindCompute {
+			computes++
+		}
+	}
+	if computes != len(rep.Records) {
+		t.Errorf("live engine: %d compute spans for %d records", computes, len(rep.Records))
+	}
+	an := span.Analyze(spans, 2)
+	if math.Abs(an.Blame.Sum()-1) > 1e-6 {
+		t.Errorf("live blame sums to %g", an.Blame.Sum())
+	}
+}
+
+type nopKernel struct{}
+
+func (nopKernel) Execute(lo, hi int64) {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += float64(i)
+	}
+	_ = s
+}
+
+// TestRecorderSpeculationSpans pins the race accounting: the burned time is
+// charged to the LOSING copy's unit, from launch to resolution, parented to
+// the launch marker.
+func TestRecorderSpeculationSpans(t *testing.T) {
+	rec := span.NewRecorder()
+	launch := func(orig, backup, seq int) {
+		rec.Consume(telemetry.Event{Kind: telemetry.EvSpeculate, Time: 1.0, Name: "launch",
+			PU: orig, Seq: seq, Units: 64, Value: float64(backup)})
+	}
+	resolve := func(name string, orig, backup, seq int, at float64) {
+		rec.Consume(telemetry.Event{Kind: telemetry.EvSpeculate, Time: at, Name: name,
+			PU: orig, Seq: seq, Units: 64, Value: float64(backup)})
+	}
+	launch(0, 1, 7)
+	resolve("win", 0, 1, 7, 3.0) // backup won → original (PU 0) burned [1,3]
+	launch(2, 3, 8)
+	resolve("wasted", 2, 3, 8, 2.5) // original won → backup (PU 3) burned [1,2.5]
+
+	var got []span.Span
+	for _, sp := range rec.Spans() {
+		if sp.Kind == span.KindSpeculate && sp.Label != "launch" {
+			got = append(got, sp)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 resolved race spans, got %d", len(got))
+	}
+	win, wasted := got[0], got[1]
+	if win.PU != 0 || win.Start != 1.0 || win.End != 3.0 || win.Label != "win" {
+		t.Errorf("win span wrong: %+v", win)
+	}
+	if win.Parent < 0 || rec.Spans()[win.Parent].Label != "launch" {
+		t.Errorf("win span not parented to its launch marker: %+v", win)
+	}
+	if wasted.PU != 3 || wasted.Start != 1.0 || wasted.End != 2.5 || wasted.Label != "wasted" {
+		t.Errorf("wasted span wrong: %+v", wasted)
+	}
+}
+
+// TestRecorderZeroAlloc guards the sim hot path: with a warm arena,
+// consuming a task-completion event records its whole lifecycle chain with
+// zero allocations. (Name matches the CI ZeroAlloc|ConstantAlloc gate.)
+func TestRecorderZeroAlloc(t *testing.T) {
+	rec := span.NewRecorder()
+	ev := telemetry.Event{
+		Kind: telemetry.EvTaskComplete, Time: 0, TransferStart: 0.1,
+		TransferEnd: 0.3, ExecStart: 0.4, End: 1.0, PU: 1, Seq: 0, Units: 64,
+	}
+	rec.Consume(ev) // warm
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.Reset()
+		rec.Consume(ev)
+		rec.Consume(telemetry.Event{Kind: telemetry.EvOverhead, Time: 1.0, End: 1.2, PU: -1, Name: "solve"})
+	})
+	if allocs != 0 {
+		t.Fatalf("span recording allocated %.1f allocs/op on the hot path, want 0", allocs)
+	}
+}
+
+func BenchmarkRecorderConsumeComplete(b *testing.B) {
+	rec := span.NewRecorder()
+	rec.Grow(4 * b.N)
+	ev := telemetry.Event{
+		Kind: telemetry.EvTaskComplete, Time: 0, TransferStart: 0.1,
+		TransferEnd: 0.3, ExecStart: 0.4, End: 1.0, PU: 1, Seq: 0, Units: 64,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Consume(ev)
+	}
+}

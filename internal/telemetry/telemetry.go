@@ -76,6 +76,10 @@ const (
 	// PU = -1, Name (the rung entered: "last-good", "hdss", "greedy", or
 	// "recovered" when a later solve succeeds again), Value (rung number).
 	EvFallback
+	// EvOverhead is one master-side scheduling-computation interval charged
+	// to the clock (simulation only): Time (start), End, Name ("fit" or
+	// "solve"), PU = -1. Transfers queued behind the master wait until End.
+	EvOverhead
 )
 
 // String names the kind for sinks and debug output.
@@ -113,6 +117,8 @@ func (k EventKind) String() string {
 		return "speculate"
 	case EvFallback:
 		return "fallback"
+	case EvOverhead:
+		return "overhead"
 	}
 	return "unknown"
 }
