@@ -53,6 +53,8 @@ func run() int {
 		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace_event JSON trace to this file (open in ui.perfetto.dev)")
 		listen   = flag.String("listen", "", "serve Prometheus /metrics, /healthz and /debug/attribution on this address (e.g. :9090); keeps serving after the run until interrupted")
 		detail   = flag.Bool("breakdown", false, "print per-unit time breakdown (exec/transfer/queue/idle)")
+		locality = flag.Bool("locality", false, "track per-handle data residency: transfers pay only the bytes missing from the target device (docs/LOCALITY.md)")
+		passes   = flag.Int("passes", 1, "process the input this many times over (a repeated-handle workload)")
 		explain  = flag.Bool("explain", false, "record causal spans and print the run's critical-path attribution (blame vector, latency percentiles, critical chains)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -74,10 +76,14 @@ func run() int {
 
 	kind := expt.AppKind(*app)
 
-	if *schedStr == "all" {
-		return compareAll(kind, *size, *machines, *seed, *block, *dual)
+	cfg := starpu.SimConfig{}
+	if *locality {
+		cfg.Locality = starpu.DefaultLocalityPolicy()
 	}
-	a := expt.MakeApp(kind, *size)
+	if *schedStr == "all" {
+		return compareAll(kind, *size, *machines, *seed, *block, *dual, *passes, cfg)
+	}
+	a := expt.MakeApp(kind, *size).WithPasses(*passes)
 	clu := cluster.TableI(cluster.Config{
 		Machines: *machines, Seed: *seed,
 		NoiseSigma: cluster.DefaultNoiseSigma, DualGPU: *dual,
@@ -91,7 +97,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
 		return 2
 	}
-	sess := starpu.NewSimSession(clu, a, starpu.SimConfig{})
+	sess := starpu.NewSimSession(clu, a, cfg)
 
 	var (
 		tel  *telemetry.Telemetry
@@ -155,6 +161,21 @@ func run() int {
 	}
 	if len(rep.SchedulerStats) > 0 {
 		fmt.Printf("\nscheduler stats: %v\n", rep.SchedulerStats)
+	}
+	if loc := rep.Locality; loc != nil {
+		base := loc.BaselineBytes()
+		drop := 0.0
+		if base > 0 {
+			drop = 100 * loc.SavedBytes / base
+		}
+		fmt.Printf("\ndata residency: shipped %.2f GB of %.2f GB (%.1f%% avoided), "+
+			"handle hits %d / misses %d / evictions %d\n",
+			loc.TransferredBytes/1e9, base/1e9, drop, loc.Hits, loc.Misses, loc.Evictions)
+		for i, b := range loc.ResidentBytes {
+			if b > 0 {
+				fmt.Printf("  %-20s resident %8.3f GB\n", rep.PUNames[i], b/1e9)
+			}
+		}
 	}
 	if *detail {
 		makespan, rows := trace.Analyze(rep)
@@ -246,7 +267,7 @@ func run() int {
 
 // compareAll runs every policy on the same scenario and prints a ranking.
 // It returns the process exit code.
-func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block float64, dual bool) int {
+func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block float64, dual bool, passes int, cfg starpu.SimConfig) int {
 	b := block
 	if b <= 0 {
 		b = expt.InitialBlock(kind, size, machines)
@@ -256,7 +277,7 @@ func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block f
 		len(names), kind, size, machines, seed, b)
 	fmt.Printf("%-20s %12s %12s %8s\n", "scheduler", "makespan s", "mean idle %", "tasks")
 	for _, name := range names {
-		a := expt.MakeApp(kind, size)
+		a := expt.MakeApp(kind, size).WithPasses(passes)
 		clu := cluster.TableI(cluster.Config{
 			Machines: machines, Seed: seed,
 			NoiseSigma: cluster.DefaultNoiseSigma, DualGPU: dual,
@@ -266,7 +287,7 @@ func compareAll(kind expt.AppKind, size int64, machines int, seed int64, block f
 			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
 			return 1
 		}
-		rep, err := starpu.NewSimSession(clu, a, starpu.SimConfig{}).Run(s)
+		rep, err := starpu.NewSimSession(clu, a, cfg).Run(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plbsim: %s: %v\n", name, err)
 			return 1

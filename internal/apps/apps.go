@@ -24,6 +24,7 @@ import (
 type App struct {
 	name    string
 	units   int64
+	passes  int
 	profile device.KernelProfile
 }
 
@@ -31,8 +32,32 @@ type App struct {
 func (a *App) Name() string { return a.name }
 
 // TotalUnits returns the number of indivisible work units (lines, genes,
-// options) to process.
-func (a *App) TotalUnits() int64 { return a.units }
+// options) to process, across every pass.
+func (a *App) TotalUnits() int64 {
+	if a.passes > 1 {
+		return a.units * int64(a.passes)
+	}
+	return a.units
+}
+
+// DataUnits returns the number of distinct data units behind the workload:
+// work unit u reads datum u mod DataUnits, so a multi-pass instance revisits
+// the same inputs each sweep (an iterative solver re-walking its matrix).
+func (a *App) DataUnits() int64 { return a.units }
+
+// WithPasses returns a copy of the application that processes its input
+// `passes` times over (an iterative/repeated-handle workload). Each pass
+// re-reads the same data units, so residency-aware runtimes pay transfers
+// only on the first touch. passes <= 1 returns the receiver unchanged.
+func (a *App) WithPasses(passes int) *App {
+	if passes <= 1 {
+		return a
+	}
+	b := *a
+	b.passes = passes
+	b.name = fmt.Sprintf("%s-x%d", a.name, passes)
+	return &b
+}
 
 // Profile returns the kernel cost profile used by device models.
 func (a *App) Profile() device.KernelProfile { return a.profile }

@@ -17,7 +17,8 @@ func TestRegistryComplete(t *testing.T) {
 	// Every paper artifact must have an experiment.
 	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "solver", "headline", "ablation", "cloud", "dualgpu",
-		"related", "network", "threshold", "blocksize", "noise", "heterogeneity"}
+		"related", "network", "threshold", "blocksize", "noise", "heterogeneity",
+		"locality"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %q missing from registry", id)

@@ -89,9 +89,9 @@ func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 
 	reps := make([]repOutcome, sc.Seeds)
 	err := r.forEach(sc.Seeds, func(i int) error {
-		app := MakeApp(sc.Kind, sc.Size)
+		app := MakeApp(sc.Kind, sc.Size).WithPasses(sc.Passes)
 		clu := sc.Cluster(i)
-		cfg := starpu.SimConfig{}
+		cfg := starpu.SimConfig{Locality: sc.Locality}
 		if sc.NoOverheads {
 			cfg.Overheads = starpu.NoOverheads()
 		}

@@ -141,6 +141,13 @@ type Scenario struct {
 	BaseSeed int64 // first seed; repetition i uses BaseSeed+i
 	// NoOverheads disables the charged scheduler overheads (ablation).
 	NoOverheads bool
+	// Passes repeats the input this many times over (a repeated-handle
+	// workload: work unit u reads datum u mod Size). <= 1 means one pass.
+	Passes int
+	// Locality, when non-nil, enables data-residency tracking for every
+	// repetition (see starpu.LocalityPolicy). Nil keeps the legacy
+	// re-pay-every-transfer behavior bit-for-bit.
+	Locality *starpu.LocalityPolicy
 }
 
 // DefaultSeeds is the paper's repetition count.

@@ -1,0 +1,353 @@
+// Package residency tracks which processing units hold which block inputs
+// on device memory. The paper's runtime (like StarPU's data handles) keeps
+// shipped tiles resident, so a block whose input already lives on its target
+// device pays no transfer at all — but none of the placement machinery knew
+// this, and every assignment, requeue, and speculative copy re-charged
+// TransferBytesPerUnit from scratch.
+//
+// The tracker discretizes the input into fixed-size handle tiles (a run of
+// consecutive data units). Per processing unit it keeps the resident handle
+// set in an LRU list bounded by the device's memory capacity: fetching a
+// block marks its handles most-recently-used and evicts from the cold end
+// until the resident bytes fit. Everything is deterministic — eviction order
+// depends only on the fetch sequence, never on map iteration or time — so
+// simulated runs stay bit-reproducible at any -jobs parallelism.
+//
+// Hot paths are allocation-free in steady state: entries are pooled per
+// unit, a hit only splices the intrusive LRU list, and an eviction returns
+// its entry to the pool the following miss pops from.
+package residency
+
+// DefaultHandleUnits is the handle tile size (in work units) used when a
+// configuration leaves HandleUnits unset.
+const DefaultHandleUnits = 64
+
+// Config sizes a Tracker.
+type Config struct {
+	// PUs is the number of processing units tracked.
+	PUs int
+	// HandleUnits is the tile size: one handle covers this many consecutive
+	// data units. <= 0 means DefaultHandleUnits.
+	HandleUnits int64
+	// BytesPerUnit is the input bytes behind one work unit (the kernel
+	// profile's TransferBytesPerUnit); a handle's footprint is its unit span
+	// times this.
+	BytesPerUnit float64
+	// DataUnits is the number of distinct data units. Work unit u maps to
+	// data unit u mod DataUnits, so multi-pass workloads revisit the same
+	// handles. <= 0 disables wrapping (every unit is its own datum).
+	DataUnits int64
+	// CapacityBytes is each unit's device-memory budget in bytes, cluster
+	// order. <= 0 (or a missing entry) means unlimited — host CPUs page.
+	CapacityBytes []float64
+}
+
+// FetchResult summarizes one Fetch: the bytes that must actually move and
+// the handle-granular hit/miss/eviction counts behind them.
+type FetchResult struct {
+	// MissBytes is the data that was not resident and must be transferred.
+	MissBytes float64
+	// HitBytes is the data already resident on the unit (transfer avoided).
+	HitBytes float64
+	// Hits and Misses count handles already resident / newly fetched.
+	Hits, Misses int64
+	// Evictions counts handles displaced to fit the fetch; EvictedBytes is
+	// their combined footprint.
+	Evictions    int64
+	EvictedBytes float64
+}
+
+// entry is one resident handle on one unit: a node of both the per-unit
+// hash index and the intrusive LRU list (head = most recently used).
+type entry struct {
+	handle     int64
+	bytes      float64
+	prev, next *entry
+}
+
+// puState is one processing unit's residency state.
+type puState struct {
+	index      map[int64]*entry
+	head, tail *entry // LRU list; head = MRU, tail = LRU
+	resident   float64
+	capacity   float64 // <= 0 means unlimited
+	free       *entry  // entry pool, singly linked through next
+
+	hits, misses, evictions int64
+}
+
+// Tracker is the per-unit residency cache. It is not safe for concurrent
+// use; both engines drive it from their serialized scheduling goroutine.
+type Tracker struct {
+	handleUnits  int64
+	bytesPerUnit float64
+	dataUnits    int64
+	numHandles   int64 // distinct handles when dataUnits > 0, else 0
+	pus          []puState
+
+	hits, misses, evictions int64
+}
+
+// New builds a tracker per cfg.
+func New(cfg Config) *Tracker {
+	h := cfg.HandleUnits
+	if h <= 0 {
+		h = DefaultHandleUnits
+	}
+	t := &Tracker{
+		handleUnits:  h,
+		bytesPerUnit: cfg.BytesPerUnit,
+		dataUnits:    cfg.DataUnits,
+		pus:          make([]puState, cfg.PUs),
+	}
+	if t.dataUnits > 0 {
+		t.numHandles = (t.dataUnits + h - 1) / h
+	}
+	for i := range t.pus {
+		t.pus[i].index = make(map[int64]*entry)
+		if i < len(cfg.CapacityBytes) {
+			t.pus[i].capacity = cfg.CapacityBytes[i]
+		}
+	}
+	return t
+}
+
+// HandleUnits returns the tile size in work units.
+func (t *Tracker) HandleUnits() int64 { return t.handleUnits }
+
+// handleBytes is handle h's footprint: a full tile, except the last tile of
+// a wrapped input which covers only the remainder.
+func (t *Tracker) handleBytes(h int64) float64 {
+	span := t.handleUnits
+	if t.dataUnits > 0 {
+		if rem := t.dataUnits - h*t.handleUnits; rem < span {
+			span = rem
+		}
+	}
+	return float64(span) * t.bytesPerUnit
+}
+
+// forEachHandle calls fn once per distinct handle touched by work units
+// [lo, hi), after the modular data mapping. Handles are visited in
+// ascending data order (second wrap segment first when the range wraps), so
+// the traversal — and therefore LRU order — is deterministic.
+func (t *Tracker) forEachHandle(lo, hi int64, fn func(h int64)) {
+	if hi <= lo {
+		return
+	}
+	d := t.dataUnits
+	if d <= 0 {
+		for h := lo / t.handleUnits; h <= (hi-1)/t.handleUnits; h++ {
+			fn(h)
+		}
+		return
+	}
+	if hi-lo >= d {
+		// The block covers at least one full pass: every handle is touched.
+		for h := int64(0); h < t.numHandles; h++ {
+			fn(h)
+		}
+		return
+	}
+	a, b := lo%d, hi%d
+	if a < b {
+		for h := a / t.handleUnits; h <= (b-1)/t.handleUnits; h++ {
+			fn(h)
+		}
+		return
+	}
+	// Wrapped range: [a, d) plus [0, b). At handle granularity the two
+	// segments can meet; collapse to a full scan when they cover the ring.
+	h1lo, h1hi := a/t.handleUnits, (d-1)/t.handleUnits
+	var h2hi int64 = -1
+	if b > 0 {
+		h2hi = (b - 1) / t.handleUnits
+	}
+	if h2hi >= h1lo {
+		for h := int64(0); h < t.numHandles; h++ {
+			fn(h)
+		}
+		return
+	}
+	for h := int64(0); h <= h2hi; h++ {
+		fn(h)
+	}
+	for h := h1lo; h <= h1hi; h++ {
+		fn(h)
+	}
+}
+
+// MissBytes returns the bytes of [lo, hi) not resident on pu, without
+// mutating any state — the pure query placement decisions score with.
+func (t *Tracker) MissBytes(pu int, lo, hi int64) float64 {
+	if pu < 0 || pu >= len(t.pus) {
+		return float64(hi-lo) * t.bytesPerUnit
+	}
+	p := &t.pus[pu]
+	var miss float64
+	t.forEachHandle(lo, hi, func(h int64) {
+		if _, ok := p.index[h]; !ok {
+			miss += t.handleBytes(h)
+		}
+	})
+	return miss
+}
+
+// Fetch charges block [lo, hi) to pu: resident handles are marked
+// most-recently-used, missing ones become resident, and the cold end of the
+// LRU list is evicted until the unit fits its capacity again. A single
+// handle larger than the whole capacity is streamed — counted as a miss but
+// never retained — so one oversized tile cannot wipe the cache.
+func (t *Tracker) Fetch(pu int, lo, hi int64) FetchResult {
+	var r FetchResult
+	if pu < 0 || pu >= len(t.pus) {
+		r.MissBytes = float64(hi-lo) * t.bytesPerUnit
+		return r
+	}
+	p := &t.pus[pu]
+	t.forEachHandle(lo, hi, func(h int64) {
+		bytes := t.handleBytes(h)
+		if e, ok := p.index[h]; ok {
+			r.Hits++
+			r.HitBytes += bytes
+			p.moveToFront(e)
+			return
+		}
+		r.Misses++
+		r.MissBytes += bytes
+		if p.capacity > 0 && bytes > p.capacity {
+			return // streamed: larger than the device, never retained
+		}
+		e := p.get()
+		e.handle, e.bytes = h, bytes
+		p.index[h] = e
+		p.pushFront(e)
+		p.resident += bytes
+		for p.capacity > 0 && p.resident > p.capacity && p.tail != nil {
+			victim := p.tail
+			r.Evictions++
+			r.EvictedBytes += victim.bytes
+			p.evict(victim)
+		}
+	})
+	p.hits += r.Hits
+	p.misses += r.Misses
+	p.evictions += r.Evictions
+	t.hits += r.Hits
+	t.misses += r.Misses
+	t.evictions += r.Evictions
+	return r
+}
+
+// Invalidate drops everything resident on pu (device death wipes its
+// memory) and returns the handle count and bytes discarded. The drop is not
+// counted as evictions — capacity pressure and failure are different
+// signals.
+func (t *Tracker) Invalidate(pu int) (handles int64, bytes float64) {
+	if pu < 0 || pu >= len(t.pus) {
+		return 0, 0
+	}
+	p := &t.pus[pu]
+	for p.tail != nil {
+		handles++
+		bytes += p.tail.bytes
+		p.evict(p.tail)
+	}
+	return handles, bytes
+}
+
+// ResidentBytes returns the bytes currently resident on pu.
+func (t *Tracker) ResidentBytes(pu int) float64 {
+	if pu < 0 || pu >= len(t.pus) {
+		return 0
+	}
+	return t.pus[pu].resident
+}
+
+// ResidentHandles returns the handle count currently resident on pu.
+func (t *Tracker) ResidentHandles(pu int) int {
+	if pu < 0 || pu >= len(t.pus) {
+		return 0
+	}
+	return len(t.pus[pu].index)
+}
+
+// CapacityBytes returns pu's byte budget (<= 0 means unlimited).
+func (t *Tracker) CapacityBytes(pu int) float64 {
+	if pu < 0 || pu >= len(t.pus) {
+		return 0
+	}
+	return t.pus[pu].capacity
+}
+
+// Counters returns the tracker-wide handle hit/miss/eviction totals.
+func (t *Tracker) Counters() (hits, misses, evictions int64) {
+	return t.hits, t.misses, t.evictions
+}
+
+// PUCounters returns pu's handle hit/miss/eviction totals.
+func (t *Tracker) PUCounters(pu int) (hits, misses, evictions int64) {
+	if pu < 0 || pu >= len(t.pus) {
+		return 0, 0, 0
+	}
+	p := &t.pus[pu]
+	return p.hits, p.misses, p.evictions
+}
+
+// --- intrusive LRU plumbing -------------------------------------------------
+
+func (p *puState) get() *entry {
+	if e := p.free; e != nil {
+		p.free = e.next
+		e.next = nil
+		return e
+	}
+	return &entry{}
+}
+
+func (p *puState) put(e *entry) {
+	e.prev = nil
+	e.next = p.free
+	p.free = e
+}
+
+func (p *puState) pushFront(e *entry) {
+	e.prev = nil
+	e.next = p.head
+	if p.head != nil {
+		p.head.prev = e
+	}
+	p.head = e
+	if p.tail == nil {
+		p.tail = e
+	}
+}
+
+func (p *puState) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (p *puState) moveToFront(e *entry) {
+	if p.head == e {
+		return
+	}
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+func (p *puState) evict(e *entry) {
+	p.unlink(e)
+	delete(p.index, e.handle)
+	p.resident -= e.bytes
+	p.put(e)
+}

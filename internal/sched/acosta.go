@@ -89,7 +89,11 @@ func (a *Acosta) rebalance(s *starpu.Session) {
 	var srp float64
 	for i := 0; i < n; i++ {
 		if a.times[i] > 0 && a.loads[i] > 0 {
-			rp[i] = a.loads[i] / a.times[i]
+			// In locality mode the relative power is discounted by the
+			// unit's expected transfer cost for its load (miss fraction ×
+			// link time): units whose data is resident pay nothing extra and
+			// attract proportionally more of the next iteration.
+			rp[i] = a.loads[i] / (a.times[i] + localityPenalty(s, i, a.loads[i]))
 		}
 		srp += rp[i]
 	}

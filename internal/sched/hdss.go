@@ -234,6 +234,15 @@ func (h *HDSS) freezeWeights(s *starpu.Session) {
 	var sum float64
 	for i := 0; i < n; i++ {
 		speeds[i] = h.projectSpeed(i, probe)
+		// In locality mode the frozen weight reflects effective throughput:
+		// kernel time for the probe block plus the unit's expected transfer
+		// cost (miss fraction × link time). Units already holding the data
+		// keep their raw speed; cold units are discounted.
+		if speeds[i] > 0 {
+			if pen := localityPenalty(s, i, probe); pen > 0 {
+				speeds[i] = probe / (probe/speeds[i] + pen)
+			}
+		}
 		sum += speeds[i]
 	}
 	s.ChargeFit()

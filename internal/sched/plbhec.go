@@ -386,6 +386,10 @@ func (p *PLBHeC) solveDistribution(s *starpu.Session) {
 			curves[i] = deadCurve{}
 		}
 	}
+	// In locality mode each curve also carries the unit's expected transfer
+	// cost (miss fraction × link time), so the equal-finish-time solution
+	// shifts work toward units already holding the data.
+	curves = localityCurves(s, curves)
 	res, err := ipm.Solve(ipm.Problem{Curves: curves, Total: remaining}, p.Solver)
 	p.stats.solves++
 	s.ChargeSolve()

@@ -17,7 +17,10 @@
 // can run on the simulated Table I cluster or on live goroutine workers.
 package sched
 
-import "plbhec/internal/starpu"
+import (
+	"plbhec/internal/cluster"
+	"plbhec/internal/starpu"
+)
 
 // Config carries the knobs shared by every policy.
 type Config struct {
@@ -47,11 +50,13 @@ type Greedy struct {
 
 	blocks   float64 // blocks dispatched
 	reroutes float64 // blocks redirected away from a failed unit
+	locHops  float64 // blocks routed to a different idle unit for its data
 }
 
 // Stats implements starpu.StatsReporter.
 func (g *Greedy) Stats() map[string]float64 {
-	return map[string]float64{"blocks": g.blocks, "reroutes": g.reroutes}
+	return map[string]float64{"blocks": g.blocks, "reroutes": g.reroutes,
+		"localityRoutes": g.locHops}
 }
 
 // NewGreedy returns a greedy scheduler with the given block size.
@@ -81,12 +86,23 @@ func (g *Greedy) Start(s *starpu.Session) {
 }
 
 // TaskFinished immediately re-feeds the unit that became idle, falling
-// back to any surviving unit if it failed mid-run.
+// back to any surviving unit if it failed mid-run. In locality mode the
+// next block instead goes to whichever idle unit can start it with the
+// least data movement — "any idle processing unit" leaves the choice free,
+// so the tie is broken toward resident data.
 func (g *Greedy) TaskFinished(s *starpu.Session, rec starpu.TaskRecord) {
 	if s.Remaining() == 0 {
 		return
 	}
 	pu := s.PUs()[rec.PU]
+	if s.LocalityEnabled() {
+		if best := g.pickLocalIdle(s); best != nil {
+			if best.ID != rec.PU {
+				g.locHops++
+			}
+			pu = best
+		}
+	}
 	if pu.Dev.Failed() {
 		for _, other := range s.PUs() {
 			if !other.Dev.Failed() {
@@ -102,4 +118,26 @@ func (g *Greedy) TaskFinished(s *starpu.Session, rec starpu.TaskRecord) {
 	if s.Assign(pu, g.initialBlock()) > 0 {
 		g.blocks++
 	}
+}
+
+// pickLocalIdle returns the idle, healthy unit that can start the next
+// cursor block with the least nominal transfer time (lowest ID on ties —
+// deterministic), or nil when no unit is idle and the caller should keep
+// the legacy re-feed target.
+func (g *Greedy) pickLocalIdle(s *starpu.Session) *cluster.PU {
+	best := -1
+	var bestCost float64
+	for i, pu := range s.PUs() {
+		if pu.Dev.Failed() || s.InFlightOn(i) > 0 {
+			continue
+		}
+		cost := s.NextTransferSeconds(i, g.initialBlock())
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return s.PUs()[best]
 }

@@ -111,6 +111,16 @@ type LiveConfig struct {
 	// all kernels in internal/apps qualify). Nil preserves the legacy
 	// behavior exactly.
 	Spec *SpeculationPolicy
+	// Locality, when non-nil, enables data-residency tracking. Live workers
+	// share host memory (no modeled NIC/PCIe), so residency does not change
+	// timing; it drives the hit/miss accounting and makes requeue and
+	// speculation targets prefer workers that already touched the block's
+	// data (warm caches). Nil preserves the legacy behavior exactly.
+	Locality *LocalityPolicy
+	// DataUnits is the number of distinct data units behind TotalUnits for
+	// residency purposes (work unit u reads datum u mod DataUnits). <= 0
+	// means TotalUnits — every unit its own datum.
+	DataUnits int64
 }
 
 // NewLiveSession builds a session that runs kernel on real goroutine
@@ -139,8 +149,15 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		appName: cfg.AppName,
 		retry:   cfg.Retry.normalized(),
 		spec:    cfg.Spec.normalized(),
+		loc:     cfg.Locality.normalized(),
 	}
 	s.initCommon(cfg.TotalUnits)
+	s.memCap = make([]float64, len(s.pus)) // host workers: unlimited memory
+	du := cfg.DataUnits
+	if du <= 0 {
+		du = cfg.TotalUnits
+	}
+	s.initLocality(du, s.memCap)
 	le := &liveEngine{
 		session:   s,
 		kernel:    kernel,
@@ -209,6 +226,7 @@ func (e *liveEngine) executeParallel(lo, hi int64, par int) {
 
 func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, retries int) {
 	submit := e.now()
+	e.session.fetchBytes(pu.ID, seq, lo, hi)
 	if e.session.spec != nil && retries == 0 {
 		// Arm a watchdog for the block when a deadline is derivable (launch
 		// runs on the driving goroutine, so the map needs no lock).
@@ -236,6 +254,7 @@ func (e *liveEngine) abortInFlight(pu int) {}
 // block drive — if the target worker's queue is full, a goroutine finishes
 // the handoff while completions keep draining.
 func (e *liveEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int) {
+	e.session.fetchBytes(pu.ID, seq, lo, hi)
 	a := liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries}
 	select {
 	case e.workers[pu.ID] <- a:
@@ -261,9 +280,10 @@ func (e *liveEngine) drive() error {
 			continue
 		}
 		rec := d.rec
-		if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
-			e.queueBusy[rec.PU] += wait
-			e.session.emitLink(e.queueName[rec.PU],
+		if rec.TransferEnd > rec.TransferStart {
+			// emitLink merges overlapping queue-wait intervals per worker, so
+			// concurrently queued blocks cannot push LinkBusy past wall time.
+			e.queueBusy[rec.PU] += e.session.emitLink(e.queueName[rec.PU],
 				rec.TransferStart, rec.TransferEnd, rec.Units)
 		}
 		e.session.onComplete(rec)
@@ -336,13 +356,14 @@ func (e *liveEngine) fireWatchdogs() {
 	for _, seq := range expired {
 		w := e.watch[seq]
 		s.noteExpiry(w.pu)
-		target := s.pickSpecTarget(w.pu)
+		target := s.pickSpecTarget(w.pu, w.lo, w.hi)
 		if target < 0 {
 			w.specPU = -2 // nowhere healthy to speculate; wait it out
 			continue
 		}
 		w.specPU = target
 		w.copies++
+		s.fetchBytes(target, seq, w.lo, w.hi)
 		s.inflightPU[target]++
 		s.noteSpeculate(w.pu, target, seq, w.hi-w.lo)
 		if s.tel != nil {
@@ -376,9 +397,9 @@ func (e *liveEngine) handleDone(d liveDone) {
 			return
 		}
 		rec := d.rec
-		if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
-			e.queueBusy[rec.PU] += wait
-			s.emitLink(e.queueName[rec.PU], rec.TransferStart, rec.TransferEnd, rec.Units)
+		if rec.TransferEnd > rec.TransferStart {
+			e.queueBusy[rec.PU] += s.emitLink(e.queueName[rec.PU],
+				rec.TransferStart, rec.TransferEnd, rec.Units)
 		}
 		s.onComplete(rec)
 		return
@@ -426,9 +447,9 @@ func (e *liveEngine) handleDone(d liveDone) {
 		delete(e.watch, d.rec.Seq)
 	}
 	rec := d.rec
-	if wait := rec.TransferEnd - rec.TransferStart; wait > 0 {
-		e.queueBusy[rec.PU] += wait
-		s.emitLink(e.queueName[rec.PU], rec.TransferStart, rec.TransferEnd, rec.Units)
+	if rec.TransferEnd > rec.TransferStart {
+		e.queueBusy[rec.PU] += s.emitLink(e.queueName[rec.PU],
+			rec.TransferStart, rec.TransferEnd, rec.Units)
 	}
 	s.observeBlock(rec.PU, rec.Units, rec.ExecEnd-rec.SubmitTime, rec.ExecEnd <= w.deadlineSec)
 	s.onComplete(rec)

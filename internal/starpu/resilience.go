@@ -23,6 +23,9 @@ func (s *Session) NoteDeviceDown(id int) bool {
 	}
 	s.downSeen[id] = true
 	s.resilience[id].Failovers++
+	// The device's memory contents die with it: wipe its resident set so
+	// future placement decisions re-fetch rather than assume stale handles.
+	s.invalidateResidency(id)
 	if s.tel != nil {
 		s.tel.Emit(telemetry.Event{
 			Kind: telemetry.EvFailover, Time: s.eng.now(), PU: id, Name: s.pus[id].Name(),
@@ -115,7 +118,7 @@ func (s *Session) requeueBlock(fromPU, seq int, lo, hi int64, retries int) bool 
 			seq, hi-lo, s.retry.MaxRetries, s.pus[fromPU].Name(), ErrFailedDevice))
 		return false
 	}
-	target := s.pickRequeueTarget(fromPU)
+	target := s.pickRequeueTarget(fromPU, lo, hi)
 	if target < 0 {
 		s.fail(fmt.Errorf("starpu: block %d (%d units): no surviving unit to requeue onto: %w",
 			seq, hi-lo, ErrFailedDevice))
@@ -126,30 +129,50 @@ func (s *Session) requeueBlock(fromPU, seq int, lo, hi int64, retries int) bool 
 	return true
 }
 
-// pickRequeueTarget returns the alive, non-blacklisted unit with the fewest
-// blocks in flight (lowest ID on ties — deterministic), excluding the unit
-// the block just failed on; -1 when none qualifies. Units soft-blacklisted
-// as stragglers are avoided while any faster survivor exists, but remain a
-// last resort — a slow unit still beats a failed run.
-func (s *Session) pickRequeueTarget(exclude int) int {
+// pickRequeueTarget returns the best surviving unit to requeue block
+// [lo, hi) onto, excluding the unit it just failed on; -1 when none
+// qualifies. Candidates are ranked by missing bytes for the block's data
+// (locality mode — work should land where its input already lives), then by
+// blocks in flight, then by lowest ID — deterministic. Without a
+// LocalityPolicy every miss is zero and the ranking reduces to the legacy
+// least-loaded rule bit-for-bit. Units soft-blacklisted as stragglers are
+// avoided while any faster survivor exists, but remain a last resort — a
+// slow unit still beats a failed run.
+func (s *Session) pickRequeueTarget(exclude int, lo, hi int64) int {
 	best := -1
 	bestSlow := -1
+	var bestMiss, bestSlowMiss float64
 	for i, pu := range s.pus {
 		if i == exclude || s.blacklist[i] || pu.Dev.Failed() {
 			continue
 		}
+		var miss float64
+		if s.res != nil {
+			miss = s.res.MissBytes(i, lo, hi)
+		}
 		if s.spec != nil && s.slow[i] {
-			if bestSlow < 0 || s.inflightPU[i] < s.inflightPU[bestSlow] {
-				bestSlow = i
+			if bestSlow < 0 || betterTarget(miss, s.inflightPU[i], bestSlowMiss, s.inflightPU[bestSlow]) {
+				bestSlow, bestSlowMiss = i, miss
 			}
 			continue
 		}
-		if best < 0 || s.inflightPU[i] < s.inflightPU[best] {
-			best = i
+		if best < 0 || betterTarget(miss, s.inflightPU[i], bestMiss, s.inflightPU[best]) {
+			best, bestMiss = i, miss
 		}
 	}
 	if best < 0 {
 		return bestSlow
 	}
 	return best
+}
+
+// betterTarget ranks placement candidates: fewer missing bytes first, then
+// lighter in-flight load. Strict comparisons keep the lowest ID on full
+// ties, and with locality disabled (all misses zero) the rule degenerates to
+// the legacy least-loaded pick exactly.
+func betterTarget(missA float64, loadA int, missB float64, loadB int) bool {
+	if missA != missB {
+		return missA < missB
+	}
+	return loadA < loadB
 }

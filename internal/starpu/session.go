@@ -7,6 +7,7 @@ import (
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/device"
+	"plbhec/internal/residency"
 	"plbhec/internal/stats"
 	"plbhec/internal/telemetry"
 )
@@ -82,6 +83,27 @@ type Session struct {
 	// label (see NoteFallback); nil until the ladder first engages.
 	fallbacks map[string]int64
 
+	// loc, when non-nil, enables data-residency tracking: block inputs stay
+	// resident on their device, transfers are charged only on a miss, and
+	// placement decisions weigh data locality. Always a normalized copy
+	// (see LocalityPolicy.normalized); nil keeps legacy behavior
+	// bit-for-bit, mirroring retry and spec. res is the handle cache behind
+	// it and locStats the running summary for Report.Locality.
+	loc      *LocalityPolicy
+	res      *residency.Tracker
+	locStats *LocalityReport
+	// enforceMem, with loc nil, turns a placement exceeding memCap into a
+	// typed *MemoryExceededError instead of silently simulating impossible
+	// state. memCap is each unit's device-memory budget in bytes (<= 0
+	// unlimited), cluster order.
+	enforceMem bool
+	memCap     []float64
+	// linkCover tracks, per link name, the end of the furthest interval
+	// emitted so far: emitLink clamps each sample's start to it, so
+	// overlapping intervals (requeues, speculative copies, queued live
+	// blocks) merge instead of double-counting link occupancy.
+	linkCover map[string]float64
+
 	// overheadLog accumulates the fit/solve intervals charged to the
 	// master's clock, surfaced as Report.OverheadSpans.
 	overheadLog []OverheadSpan
@@ -113,14 +135,31 @@ func (s *Session) AttachTelemetry(t *telemetry.Telemetry) { s.tel = t }
 // methods are nil-safe, so schedulers can emit unconditionally.
 func (s *Session) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// emitLink publishes one link-occupancy interval (engine-internal).
-func (s *Session) emitLink(name string, start, end float64, units int64) {
+// emitLink publishes one link-occupancy interval (engine-internal) and
+// returns the seconds it newly covers on the link. Per link, each sample's
+// start is clamped to the furthest end emitted so far, so overlapping
+// intervals — requeued blocks, speculative backup copies, concurrently
+// queued live blocks — merge into their union instead of double-counting:
+// summed widths can never exceed wall time. Samples fully covered by
+// earlier ones (and zero-width ones) are dropped entirely.
+func (s *Session) emitLink(name string, start, end float64, units int64) float64 {
+	if cover, ok := s.linkCover[name]; ok && start < cover {
+		start = cover
+	}
+	if end <= start {
+		return 0
+	}
+	if s.linkCover == nil {
+		s.linkCover = make(map[string]float64, 8)
+	}
+	s.linkCover[name] = end
 	if s.tel != nil {
 		s.tel.Emit(telemetry.Event{
 			Kind: telemetry.EvLinkSample, Time: start, End: end,
 			PU: -1, Name: name, Units: units,
 		})
 	}
+	return end - start
 }
 
 // Profile returns the application's kernel cost profile.
@@ -326,6 +365,7 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 		}
 	}
 	rep.LinkBusy = s.eng.linkBusy()
+	rep.Locality = s.localityReportFinal()
 	rep.Resilience = append([]PUResilience(nil), s.resilience...)
 	rep.OverheadSpans = append([]OverheadSpan(nil), s.overheadLog...)
 	if len(s.records) > 0 {

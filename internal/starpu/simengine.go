@@ -117,6 +117,21 @@ type SimConfig struct {
 	// block and speculative backup copies for expired ones. See
 	// SpeculationPolicy; nil preserves the legacy behavior exactly.
 	Spec *SpeculationPolicy
+	// Locality, when non-nil, enables data-residency tracking: shipped
+	// block inputs stay resident on their device (LRU-bounded by
+	// device.Spec.MemGB), transfers are charged only on a genuine miss, and
+	// placement decisions weigh where the data already lives. See
+	// LocalityPolicy; nil preserves the legacy re-pay-every-transfer
+	// behavior exactly.
+	Locality *LocalityPolicy
+	// EnforceMemory, in legacy mode (Locality nil), fails the run with a
+	// typed *MemoryExceededError when a block's input exceeds the target
+	// device's MemGB capacity, instead of silently simulating an impossible
+	// placement. Ignored in locality mode, where the residency cache evicts
+	// and streams to fit. Off by default: the kernel profiles document
+	// shared inputs as streamed tiles, so oversized blocks are legitimate
+	// unless an experiment opts into strict validation.
+	EnforceMemory bool
 }
 
 // NoOverheads disables scheduler-overhead charging (for ablations).
@@ -137,9 +152,16 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 		chargeOn:  true,
 		retry:     cfg.Retry.normalized(),
 		spec:      cfg.Spec.normalized(),
+		loc:       cfg.Locality.normalized(),
 	}
 	s.initCommon(app.TotalUnits())
 	n := len(s.pus)
+	s.enforceMem = cfg.EnforceMemory
+	s.memCap = make([]float64, n)
+	for i, pu := range s.pus {
+		s.memCap[i] = pu.Dev.MemGB * 1e9
+	}
+	s.initLocality(app.DataUnits(), s.memCap)
 	se := &simEngine{
 		eng:      sim.New(),
 		session:  s,
@@ -213,7 +235,10 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 		t = earliest // master still busy computing the schedule
 	}
 	prof := e.session.profile
-	bytes := float64(units) * prof.TransferBytesPerUnit
+	if !e.session.checkMemory(pu.ID, seq, units) {
+		return // typed violation recorded; the queue drains and Run reports it
+	}
+	bytes := e.session.fetchBytes(pu.ID, seq, lo, hi)
 
 	rec.TransferStart = t
 	if nic := e.nicOfPU[pu.ID]; nic != nil && bytes > 0 {
@@ -292,7 +317,7 @@ func (e *simEngine) watchdogFire(c *simCompletion, gen uint64) {
 	s := e.session
 	orig := c.rec.PU
 	s.noteExpiry(orig)
-	target := s.pickSpecTarget(orig)
+	target := s.pickSpecTarget(orig, c.rec.Lo, c.rec.Hi)
 	if target < 0 {
 		return // nowhere healthy to speculate; wait for the original
 	}
@@ -317,7 +342,7 @@ func (e *simEngine) launchBackup(orig *simCompletion, pu *cluster.PU) bool {
 		Seq: orig.rec.Seq, PU: pu.ID, Lo: orig.rec.Lo, Hi: orig.rec.Hi,
 		Units: units, SubmitTime: t, TransferStart: t,
 	}
-	bytes := float64(units) * prof.TransferBytesPerUnit
+	bytes := e.session.fetchBytes(pu.ID, rec.Seq, rec.Lo, rec.Hi)
 	tt := t
 	if nic := e.nicOfPU[pu.ID]; nic != nil && bytes > 0 {
 		hold := pu.Machine.NIC.TransferSeconds(bytes)

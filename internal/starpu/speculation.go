@@ -120,18 +120,26 @@ func (s *Session) noteExpiry(pu int) {
 	}
 }
 
-// pickSpecTarget returns the alive, non-blacklisted, non-straggling unit
-// with the fewest blocks in flight (lowest ID on ties — deterministic),
-// excluding the straggler itself; -1 when none qualifies and the block must
-// simply wait for its original copy.
-func (s *Session) pickSpecTarget(exclude int) int {
+// pickSpecTarget returns the best alive, non-blacklisted, non-straggling
+// unit to run a backup copy of block [lo, hi) on, excluding the straggler
+// itself; -1 when none qualifies and the block must simply wait for its
+// original copy. Candidates are ranked by missing bytes for the block's
+// data (locality mode), then by blocks in flight, then by lowest ID —
+// deterministic; with locality disabled the ranking is the legacy
+// least-loaded rule bit-for-bit.
+func (s *Session) pickSpecTarget(exclude int, lo, hi int64) int {
 	best := -1
+	var bestMiss float64
 	for i, pu := range s.pus {
 		if i == exclude || s.blacklist[i] || s.slow[i] || pu.Dev.Failed() {
 			continue
 		}
-		if best < 0 || s.inflightPU[i] < s.inflightPU[best] {
-			best = i
+		var miss float64
+		if s.res != nil {
+			miss = s.res.MissBytes(i, lo, hi)
+		}
+		if best < 0 || betterTarget(miss, s.inflightPU[i], bestMiss, s.inflightPU[best]) {
+			best, bestMiss = i, miss
 		}
 	}
 	return best

@@ -281,6 +281,11 @@ type Report struct {
 	// LinkBusy reports the total occupied seconds of each communication
 	// link ("B/nic", "B/pcie", ...) over the run — simulation engine only.
 	LinkBusy map[string]float64
+	// Locality summarizes the residency cache's activity over the run —
+	// handle hits/misses/evictions, bytes actually transferred vs avoided,
+	// and each unit's final resident footprint. Nil when the session ran
+	// without a LocalityPolicy (the legacy re-pay-every-transfer behavior).
+	Locality *LocalityReport
 	// Resilience reports each unit's fault history (cluster order). All
 	// zeros when no fault occurred or no RetryPolicy was attached.
 	Resilience []PUResilience

@@ -47,6 +47,8 @@ type RunMetrics struct {
 	blacklists                 *Counter
 	speculations, specWins     *Counter
 	specWasted                 *Counter
+	handleHits, handleMisses   *Counter
+	handleEvictions            *Counter
 
 	lastShares []float64
 	phaseCodes map[string]int
@@ -93,6 +95,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_spec_wins_total", "Speculated blocks whose backup copy finished first")
 	reg.Help("plbhec_spec_wasted_total", "Speculated blocks whose original copy finished first")
 	reg.Help("plbhec_fallbacks_total", "Scheduler degradation-ladder transitions by rung")
+	reg.Help("plbhec_handle_hits_total", "Block-input handles already resident on their target unit (transfer avoided)")
+	reg.Help("plbhec_handle_misses_total", "Block-input handles fetched onto their target unit (transfer paid)")
+	reg.Help("plbhec_handle_evictions_total", "Resident handles displaced by memory-capacity pressure (LRU)")
 
 	n := len(puNames)
 	m.submitted = make([]*Counter, n)
@@ -137,6 +142,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	m.speculations = reg.Counter("plbhec_speculations_total")
 	m.specWins = reg.Counter("plbhec_spec_wins_total")
 	m.specWasted = reg.Counter("plbhec_spec_wasted_total")
+	m.handleHits = reg.Counter("plbhec_handle_hits_total")
+	m.handleMisses = reg.Counter("plbhec_handle_misses_total")
+	m.handleEvictions = reg.Counter("plbhec_handle_evictions_total")
 	return m
 }
 
@@ -250,5 +258,15 @@ func (m *RunMetrics) Consume(ev Event) {
 			rung = "unspecified"
 		}
 		m.reg.Counter("plbhec_fallbacks_total", Label{"rung", rung}).Inc()
+	case EvResidency:
+		// Only "fetch" transactions carry hit/miss/eviction counts; an
+		// "invalidate" (device death) is a failure signal, not capacity
+		// pressure, so it is deliberately not folded into evictions — the
+		// counters stay in lockstep with Report.Locality.
+		if ev.Name == "fetch" {
+			m.handleHits.Add(ev.Value)
+			m.handleMisses.Add(ev.Aux)
+			m.handleEvictions.Add(float64(ev.Units))
+		}
 	}
 }

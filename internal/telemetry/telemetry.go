@@ -80,6 +80,12 @@ const (
 	// to the clock (simulation only): Time (start), End, Name ("fit" or
 	// "solve"), PU = -1. Transfers queued behind the master wait until End.
 	EvOverhead
+	// EvResidency marks one residency-cache transaction (locality mode
+	// only). Name is "fetch" (a block's handles were charged to PU: Value =
+	// handle hits, Aux = handle misses, Units = evictions, Seq = the block)
+	// or "invalidate" (a device death wiped PU's resident set: Value =
+	// handles dropped, Aux = bytes dropped, Units = handles dropped).
+	EvResidency
 )
 
 // String names the kind for sinks and debug output.
@@ -119,6 +125,8 @@ func (k EventKind) String() string {
 		return "fallback"
 	case EvOverhead:
 		return "overhead"
+	case EvResidency:
+		return "residency"
 	}
 	return "unknown"
 }
