@@ -11,6 +11,8 @@ package plbhec_test
 
 import (
 	"io"
+	"math"
+	"math/rand"
 	"testing"
 
 	"plbhec/internal/apps"
@@ -20,6 +22,7 @@ import (
 	"plbhec/internal/ipm"
 	"plbhec/internal/metrics"
 	"plbhec/internal/profile"
+	"plbhec/internal/sched"
 	"plbhec/internal/starpu"
 )
 
@@ -199,6 +202,141 @@ func BenchmarkIPMSolve(b *testing.B) {
 			b.Fatal("unexpected fallback")
 		}
 	}
+}
+
+// benchCurve is a synthetic fitted time curve with the model's shape
+// (affine plus logarithmic, strictly increasing).
+type benchCurve struct{ a, b, c float64 }
+
+func (c benchCurve) Eval(x float64) float64  { return c.a + c.b*x + c.c*math.Log(x+1) }
+func (c benchCurve) Deriv(x float64) float64 { return c.b + c.c/(x+1) }
+
+// solveNProblem builds an n-unit block-size problem with per-unit speeds
+// spanning ~3 orders of magnitude, like a maximally heterogeneous cluster.
+func solveNProblem(n int) ipm.Problem {
+	rng := rand.New(rand.NewSource(42 + int64(n)))
+	curves := make([]ipm.Curve, n)
+	for g := range curves {
+		curves[g] = benchCurve{
+			a: rng.Float64() * 1e-3,
+			b: math.Exp(rng.Float64()*5.7) * 1e-4,
+			c: rng.Float64() * 1e-2,
+		}
+	}
+	return ipm.Problem{Curves: curves, Total: 65536}
+}
+
+// BenchmarkSolveN measures one cold block-size solve as the unit count
+// grows: the arrow-structured O(n) elimination across the thousand-PU
+// range, and the legacy dense (4n+2)² factorization up to n=256 (beyond
+// that a single dense solve takes tens of seconds — the point of the
+// structured path).
+func BenchmarkSolveN(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		prob := solveNProblem(n)
+		b.Run("arrow/"+itoa(int64(n)), func(b *testing.B) {
+			sv := ipm.NewSolver(ipm.Options{Structured: true})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sv.Solve(prob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.UsedFallback {
+					b.Fatal("unexpected fallback")
+				}
+			}
+		})
+		if n > 256 {
+			continue
+		}
+		b.Run("dense/"+itoa(int64(n)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ipm.Solve(prob, ipm.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.UsedFallback {
+					b.Fatal("unexpected fallback")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSim10kPU runs the full PLB-HeC pipeline — probing, fitting,
+// structured warm-started solving, execution — on a generated 10,000-PU
+// cluster (2000 nodes × 1 CPU + 4 GPUs), the thousand-PU tier the
+// structured solver exists for. Work conservation and record sanity are
+// asserted every iteration.
+func BenchmarkSim10kPU(b *testing.B) {
+	const totalUnits = 16 << 20
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		clu := cluster.Synthetic(2000, 4, cluster.Config{
+			Seed: int64(i), NoiseSigma: cluster.DefaultNoiseSigma,
+		})
+		app := apps.NewMatMul(apps.MatMulConfig{N: totalUnits})
+		s := sched.NewPLBHeC(sched.Config{InitialBlockSize: 16})
+		s.Solver = ipm.Options{Structured: true, WarmStart: true}
+		rep, err := starpu.NewSimSession(clu, app, starpu.SimConfig{}).Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var units int64
+		for _, r := range rep.Records {
+			units += r.Hi - r.Lo
+			if r.ExecEnd > rep.Makespan+1e-9 {
+				b.Fatalf("record ends at %g beyond makespan %g", r.ExecEnd, rep.Makespan)
+			}
+		}
+		if units != totalUnits {
+			b.Fatalf("processed %d units, want %d", units, totalUnits)
+		}
+		makespan = rep.Makespan
+	}
+	b.ReportMetric(makespan, "sim-s/op")
+}
+
+// warmRebalance runs the Fig. 3 slowdown scenario with the given solver
+// options and reports the solver-side effort metrics.
+func warmRebalance(b *testing.B, opt ipm.Options) {
+	var iters, warms, solved float64
+	for i := 0; i < b.N; i++ {
+		app := expt.MakeApp(expt.MM, 32768)
+		clu := cluster.TableI(cluster.Config{
+			Machines: 2, Seed: int64(i), NoiseSigma: cluster.DefaultNoiseSigma,
+		})
+		sess := starpu.NewSimSession(clu, app, starpu.SimConfig{})
+		gpu := clu.Machines[0].GPUs[0]
+		if err := sess.ScheduleAt(8, func() { gpu.SetSpeedFactor(0.35) }); err != nil {
+			b.Fatal(err)
+		}
+		s := sched.NewPLBHeC(sched.Config{InitialBlockSize: expt.InitialBlock(expt.MM, 32768, 2)})
+		s.Solver = opt
+		rep, err := sess.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := rep.SchedulerStats
+		warms = st["solverWarmStarts"]
+		iters = st["solverIterations"]
+		solved = warms + st["solverColdStarts"]
+	}
+	if solved > 0 {
+		b.ReportMetric(iters/solved, "ipm-iters/solve")
+	}
+	b.ReportMetric(warms, "warm-starts/op")
+}
+
+// BenchmarkWarmRebalance contrasts cold and warm-started solving on the
+// Fig. 3 rebalance path: the warm variant should show fewer IPM iterations
+// per solve at unchanged end-to-end behavior.
+func BenchmarkWarmRebalance(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { warmRebalance(b, ipm.Options{}) })
+	b.Run("warm", func(b *testing.B) {
+		warmRebalance(b, ipm.Options{Structured: true, WarmStart: true})
+	})
 }
 
 // BenchmarkHeadlineSpeedup reproduces the §V.a headline cell (E10) and

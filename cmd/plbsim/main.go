@@ -194,6 +194,7 @@ func run() int {
 		an := span.Analyze(rec.Spans(), 3)
 		fmt.Println("\ncritical-path attribution:")
 		expt.WriteAttribution(os.Stdout, an, rep.PUNames)
+		expt.WriteSolverStats(os.Stdout, rep.SolverStats)
 		if att != nil {
 			if err := att.Publish(an); err != nil {
 				fmt.Fprintf(os.Stderr, "plbsim: attribution: %v\n", err)

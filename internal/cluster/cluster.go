@@ -198,6 +198,46 @@ func TableI(cfg Config) *Cluster {
 	return New(machines...)
 }
 
+// Synthetic builds a large heterogeneous cluster of n nodes with
+// gpusPerNode GPUs each, cycling through the Table I device catalog so
+// adjacent machines differ in both CPU and GPU generation. It exists for
+// the thousand-PU scaling tier — n(1+gpusPerNode) processing units — where
+// the four-machine TableI cluster is far too small to exercise the
+// structured solver. Machines are named "N1", "N2", ...; machine N1 is the
+// master.
+func Synthetic(n, gpusPerNode int, cfg Config) *Cluster {
+	if n < 1 {
+		panic("cluster: Synthetic needs at least one machine")
+	}
+	if gpusPerNode < 0 {
+		panic("cluster: Synthetic needs gpusPerNode >= 0")
+	}
+	cpus := device.CPUSpecs()
+	gpus := device.GPUSpecs()
+	rng := stats.NewRNG(cfg.Seed)
+	fabric := clusterFabric()
+	if cfg.Fabric != nil {
+		fabric = *cfg.Fabric
+	}
+	machines := make([]*Machine, 0, n)
+	for i := 0; i < n; i++ {
+		seed := int64(rng.Split(int64(i)).Intn(1 << 30))
+		m := &Machine{
+			Name: fmt.Sprintf("N%d", i+1),
+			CPU:  device.New(cpus[i%len(cpus)], seed, cfg.NoiseSigma),
+			NIC:  fabric,
+			PCIe: pcie2(),
+		}
+		m.GPUs = make([]*device.Device, 0, gpusPerNode)
+		for j := 0; j < gpusPerNode; j++ {
+			spec := gpus[(i+j)%len(gpus)]
+			m.GPUs = append(m.GPUs, device.New(spec, seed+int64(j)+1, cfg.NoiseSigma))
+		}
+		machines = append(machines, m)
+	}
+	return New(machines...)
+}
+
 // Homogeneous builds a cluster of n identical machine-A nodes (Xeon +
 // Tesla K20c). The paper's claim that PLB-HeC "obtained the highest
 // performance gains with more heterogeneous clusters" is tested against

@@ -155,6 +155,42 @@ func TestIsGPU(t *testing.T) {
 	}
 }
 
+func TestSyntheticCluster(t *testing.T) {
+	c := Synthetic(8, 4, Config{Seed: 3, NoiseSigma: 0.015})
+	if len(c.Machines) != 8 || len(c.PUs()) != 8*5 {
+		t.Fatalf("synthetic cluster shape: %v", c)
+	}
+	if !c.Machines[0].IsMaster || c.Machines[0].Name != "N1" {
+		t.Error("machine N1 must be the master")
+	}
+	// Adjacent machines cycle the catalog: different CPU generations.
+	if c.Machines[0].CPU.Name == c.Machines[1].CPU.Name {
+		t.Error("adjacent machines should differ in CPU spec")
+	}
+	// Cycle wraps: machine 5 repeats machine 1's CPU.
+	if c.Machines[0].CPU.Name != c.Machines[4].CPU.Name {
+		t.Error("catalog cycle should wrap after 4 machines")
+	}
+	for _, m := range c.Machines {
+		if len(m.GPUs) != 4 {
+			t.Errorf("machine %s has %d GPUs, want 4", m.Name, len(m.GPUs))
+		}
+	}
+	// Determinism by seed.
+	d := Synthetic(8, 4, Config{Seed: 3, NoiseSigma: 0.015})
+	for i := range c.PUs() {
+		if c.PUs()[i].Name() != d.PUs()[i].Name() {
+			t.Fatal("same seed gave a different cluster")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	Synthetic(0, 1, Config{})
+}
+
 func TestHomogeneousCluster(t *testing.T) {
 	c := Homogeneous(4, Config{Seed: 1, NoiseSigma: 0.015})
 	if len(c.Machines) != 4 || len(c.PUs()) != 8 {

@@ -99,6 +99,16 @@ func GTXTitan() Spec {
 	}
 }
 
+// CPUSpecs returns the Table I CPUs in machine order (A, B, C, D).
+func CPUSpecs() []Spec {
+	return []Spec{XeonE52690V2(), CoreI7920(), CoreI74930K(), CoreI73930K()}
+}
+
+// GPUSpecs returns the Table I GPUs in machine order (A, B, C, D).
+func GPUSpecs() []Spec {
+	return []Spec{TeslaK20c(), GTX295(), GTX680(), GTXTitan()}
+}
+
 // TableISpecs returns every Table I processor, CPUs first.
 func TableISpecs() []Spec {
 	return []Spec{

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"plbhec/internal/starpu"
 	"plbhec/internal/telemetry/span"
 )
 
@@ -37,6 +38,7 @@ func RunExplain(o Options) error {
 		an := span.Analyze(span.FromReport(res.LastReport), 3)
 		fmt.Fprintf(o.Out, "\n%s:\n", cells[i].Name)
 		WriteAttribution(o.Out, an, res.PUNames)
+		WriteSolverStats(o.Out, res.LastReport.SolverStats)
 		if s := an.Blame.Sum(); math.Abs(s-1) > 1e-6 {
 			return fmt.Errorf("expt: %s blame vector sums to %.9f, want 1", cells[i].Name, s)
 		}
@@ -74,6 +76,18 @@ func WriteAttribution(w io.Writer, an *span.Analysis, puNames []string) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// WriteSolverStats renders one solver-stats line for schedulers that run a
+// block-size solver (nil st — non-solver schedulers — prints nothing). The
+// warm hit rate and mean iteration count make the warm-start savings
+// visible directly in -explain output.
+func WriteSolverStats(w io.Writer, st *starpu.SolverStats) {
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(w, "  solver: %.0f solves, warm hit rate %.0f%%, mean %.1f iterations/solve, %.2f ms host time\n",
+		st.Solves, 100*st.WarmHitRate(), st.MeanIterations(), 1e3*st.SolveSeconds)
 }
 
 // puName resolves a unit index to its cluster name ("master" for -1).

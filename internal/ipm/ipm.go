@@ -53,6 +53,21 @@ type Options struct {
 	Mu0         float64 // initial barrier parameter; default 0.1
 	DisableIPM  bool    // force the bisection fallback (for ablations)
 	DisableFall bool    // forbid the fallback (surface IPM failures)
+
+	// Structured computes each Newton direction with the O(n) arrow-
+	// structured block elimination (arrow.go) instead of factoring the
+	// dense (4n+2)² Jacobian. The two paths agree to solver tolerance but
+	// not bit-for-bit, so the zero value keeps the legacy dense numerics
+	// (and the pinned golden sweeps) unchanged. When an arrow block
+	// factorization breaks down, small systems retry the step densely;
+	// systems too large to afford the dense matrix classify as
+	// ErrIllConditioned and fall through to the usual ladder.
+	Structured bool
+	// WarmStart lets a Solver seed each solve from the previous solve's
+	// interior iterate (with a feasibility-restoring shift) whenever the
+	// active curve set is unchanged. Ignored by the package-level Solve,
+	// which keeps no state between calls.
+	WarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -75,8 +90,12 @@ type Result struct {
 	Iterations   int
 	Converged    bool // Newton reached tolerance (false when fallback used)
 	UsedFallback bool
-	KKTResidual  float64
-	WallTime     time.Duration
+	// WarmStarted reports that the accepted iteration started from a
+	// previous solve's iterate (Solver with Options.WarmStart) rather than
+	// the cold even-split interior point.
+	WarmStarted bool
+	KKTResidual float64
+	WallTime    time.Duration
 }
 
 // ErrInfeasible is returned when no distribution exists (e.g. all curves
@@ -149,7 +168,8 @@ func Solve(p Problem, opt Options) (Result, error) {
 
 	ipmErr := error(ErrNoProgress)
 	if !opt.DisableIPM {
-		res, err := solveIPM(sc, opt)
+		var st solveState
+		res, err := solveIPM(sc, opt, &st, nil)
 		if err == nil {
 			if verr := validResult(res, p.Total); verr != nil {
 				err = verr
@@ -220,6 +240,16 @@ type scaled struct {
 }
 
 func newScaled(p Problem) (*scaled, error) {
+	var s scaled
+	if err := s.init(p); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// init (re)binds s to p, recomputing the scaling. It allocates nothing, so
+// a Solver can rebind its scaled view on every call.
+func (s *scaled) init(p Problem) error {
 	n := len(p.Curves)
 	even := p.Total / float64(n)
 	ts := 0.0
@@ -235,12 +265,13 @@ func newScaled(p Problem) (*scaled, error) {
 		}
 	}
 	if finiteCurves == 0 {
-		return nil, ErrInfeasible
+		return ErrInfeasible
 	}
 	if ts <= 0 {
 		ts = 1
 	}
-	return &scaled{p: p, n: n, timeScale: ts}, nil
+	s.p, s.n, s.timeScale = p, n, ts
+	return nil
 }
 
 // eval returns the scaled time Ê_g(u) for scaled work u ∈ [0,1].
@@ -270,7 +301,12 @@ func (s *scaled) deriv2(g int, u float64) float64 {
 
 // result converts a scaled solution back to problem units.
 func (s *scaled) result(u []float64, tau float64) Result {
-	x := make([]float64, s.n)
+	return s.resultInto(make([]float64, s.n), u, tau)
+}
+
+// resultInto is result with caller-provided storage for the block sizes
+// (len n); the returned Result.X aliases x.
+func (s *scaled) resultInto(x []float64, u []float64, tau float64) Result {
 	// Remove tiny interior-point slack from the bounds and renormalize so
 	// the block sizes sum to exactly Total.
 	var sum float64

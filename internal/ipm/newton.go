@@ -13,6 +13,64 @@ type iterate struct {
 	tau, nu      float64
 }
 
+// resize adjusts every vector to length n, reusing capacity. Contents are
+// unspecified afterwards; callers overwrite every element.
+func (it *iterate) resize(n int) {
+	it.u = resizeVec(it.u, n)
+	it.s = resizeVec(it.s, n)
+	it.lam = resizeVec(it.lam, n)
+	it.z = resizeVec(it.z, n)
+}
+
+// resizeVec returns v with length n, reusing its backing array when the
+// capacity allows.
+func resizeVec(v linalg.Vector, n int) linalg.Vector {
+	if cap(v) < n {
+		return linalg.NewVector(n)
+	}
+	return v[:n]
+}
+
+// solveState owns every buffer one Newton solve needs. The zero value is
+// ready: buffers are sized on prepare and reused across iterations and —
+// when the state persists in a Solver — across solves, reaching zero
+// allocations in steady state. The package-level Solve constructs a fresh
+// state per call, so its allocation and numeric behavior are unchanged.
+type solveState struct {
+	it     iterate
+	cand   iterate // line-search trials; only u, tau, s are used
+	filter filterSet
+	res    linalg.Vector
+	step   linalg.Vector
+	x      []float64 // result block sizes (aliased by the returned Result.X)
+	arrow  arrowWorkspace
+	// jac/lu are the dense-path workspace, allocated lazily so the
+	// structured path never pays the O(n²) Jacobian.
+	jac *linalg.Matrix
+	lu  linalg.LU
+}
+
+// prepare sizes the O(n) buffers for an n-unit solve.
+func (st *solveState) prepare(n int) {
+	dim := 4*n + 2
+	st.it.resize(n)
+	st.cand.u = resizeVec(st.cand.u, n)
+	st.cand.s = resizeVec(st.cand.s, n)
+	st.res = resizeVec(st.res, dim)
+	st.step = resizeVec(st.step, dim)
+	if cap(st.x) < n {
+		st.x = make([]float64, n)
+	}
+	st.x = st.x[:n]
+	st.filter.reset()
+}
+
+// maxDenseDim bounds the dense-LU rescue of a failed arrow factorization:
+// past this KKT dimension the dim² Jacobian is too large to materialize (a
+// 10k-PU system would need ~13 GB), so the breakdown classifies as
+// ErrIllConditioned and the caller's degradation ladder takes over.
+const maxDenseDim = 4096
+
 // solveIPM runs the primal-dual interior-point iteration on the scaled
 // problem. Failures come back classified — ErrIllConditioned (KKT system
 // would not factor), ErrNonFinite (step or iterate left the reals),
@@ -20,27 +78,39 @@ type iterate struct {
 // exhausted) — so the caller can fall back to bisection and schedulers can
 // pick a degradation rung by error kind.
 //
-// All per-iteration storage — the (4n+2)² KKT Jacobian, its LU
-// factorization, the residual/step vectors, and the line-search trial
-// iterate — lives in a workspace allocated once per solve and reused across
-// iterations and trials. The previous version allocated a fresh Jacobian
-// per iteration and a full iterate clone per line-search trial, which
-// dominated the solver's allocation profile.
-func solveIPM(sc *scaled, opt Options) (Result, error) {
+// All per-iteration storage — the residual/step vectors, the line-search
+// trial iterate, and either the structured arrow workspace or the (4n+2)²
+// KKT Jacobian with its LU factorization — lives in the caller-provided
+// solveState, reused across iterations, trials, and (for a persistent
+// Solver) whole solves.
+//
+// With opt.Structured the Newton direction comes from the O(n) arrow
+// elimination (arrow.go); the dense factorization remains both the legacy
+// default and the per-iteration rescue when the arrow's block-restricted
+// pivoting breaks down on a system the dense partial pivoting can still
+// handle. warm, when non-nil, seeds the iteration from a previous solve's
+// iterate instead of the cold interior point.
+func solveIPM(sc *scaled, opt Options, st *solveState, warm *warmState) (Result, error) {
 	n := sc.n
 	mu := opt.Mu0
 
-	it := initialPoint(sc, mu)
-	filter := newFilter()
+	st.prepare(n)
+	it := &st.it
+	if warm != nil {
+		wmu, ok := warmPointInto(sc, warm, opt, it)
+		if !ok {
+			return Result{}, ErrNonFinite
+		}
+		mu = wmu
+	} else {
+		initialPointInto(sc, mu, it)
+	}
+	filter := &st.filter
 
 	dim := 4*n + 2
-	jac := linalg.NewMatrix(dim, dim)
-	res := linalg.NewVector(dim)
-	step := linalg.NewVector(dim)
-	var lu linalg.LU
-	// cand holds line-search trial points; only u, tau, s are read by
-	// meritPair, so the dual parts are never copied.
-	cand := &iterate{u: linalg.NewVector(n), s: linalg.NewVector(n)}
+	res := st.res
+	step := st.step
+	cand := &st.cand
 
 	const (
 		kappaEps   = 10.0  // inner tolerance: E_mu <= kappaEps*mu
@@ -53,11 +123,12 @@ func solveIPM(sc *scaled, opt Options) (Result, error) {
 		// Convergence check with mu = 0 (true KKT residual).
 		e0 := kktError(sc, it, 0)
 		if e0 <= opt.Tol {
-			res := sc.result(it.u, it.tau)
-			res.Converged = true
-			res.Iterations = iter - 1
-			res.KKTResidual = e0
-			return res, nil
+			out := sc.resultInto(st.x, it.u, it.tau)
+			out.Converged = true
+			out.Iterations = iter - 1
+			out.KKTResidual = e0
+			out.WarmStarted = warm != nil
+			return out, nil
 		}
 		// Barrier update: tighten mu once the barrier subproblem is solved.
 		for kktError(sc, it, mu) <= kappaEps*mu && mu > opt.Tol/10 {
@@ -65,14 +136,31 @@ func solveIPM(sc *scaled, opt Options) (Result, error) {
 			filter.reset()
 		}
 
-		// Assemble and solve the Newton system J*d = -R in the workspace.
-		kktSystem(sc, it, mu, jac, res)
-		res.Scale(-1)
-		if err := lu.Factor(jac); err != nil {
-			return Result{}, ErrIllConditioned
+		// Solve the Newton system J*d = -R: structured O(n) arrow
+		// elimination when opted in, dense assembly + LU otherwise (and as
+		// the rescue for an arrow breakdown on systems small enough to
+		// afford the dense matrix).
+		dense := !opt.Structured
+		if opt.Structured {
+			if err := arrowSolve(sc, it, mu, &st.arrow, step); err != nil {
+				if dim > maxDenseDim {
+					return Result{}, ErrIllConditioned
+				}
+				dense = true
+			}
 		}
-		if err := lu.SolveInto(step, res); err != nil {
-			return Result{}, ErrIllConditioned
+		if dense {
+			if st.jac == nil {
+				st.jac = linalg.NewMatrix(dim, dim)
+			}
+			kktSystem(sc, it, mu, st.jac, res)
+			res.Scale(-1)
+			if err := st.lu.Factor(st.jac); err != nil {
+				return Result{}, ErrIllConditioned
+			}
+			if err := st.lu.SolveInto(step, res); err != nil {
+				return Result{}, ErrIllConditioned
+			}
 		}
 		if !step.IsFinite() {
 			return Result{}, ErrNonFinite
@@ -131,23 +219,20 @@ func solveIPM(sc *scaled, opt Options) (Result, error) {
 	// Out of iterations: accept only if reasonably converged.
 	e0 := kktError(sc, it, 0)
 	if e0 <= math.Sqrt(opt.Tol) {
-		res := sc.result(it.u, it.tau)
-		res.Converged = true
-		res.Iterations = opt.MaxIter
-		res.KKTResidual = e0
-		return res, nil
+		out := sc.resultInto(st.x, it.u, it.tau)
+		out.Converged = true
+		out.Iterations = opt.MaxIter
+		out.KKTResidual = e0
+		out.WarmStarted = warm != nil
+		return out, nil
 	}
 	return Result{}, ErrNoConverge
 }
 
-// initialPoint places the iterate strictly inside the feasible region: even
-// split, makespan above every curve, consistent barrier duals.
-func initialPoint(sc *scaled, mu float64) *iterate {
+// initialPointInto places the iterate strictly inside the feasible region:
+// even split, makespan above every curve, consistent barrier duals.
+func initialPointInto(sc *scaled, mu float64, it *iterate) {
 	n := sc.n
-	it := &iterate{
-		u: linalg.NewVector(n), s: linalg.NewVector(n),
-		lam: linalg.NewVector(n), z: linalg.NewVector(n),
-	}
 	even := 1.0 / float64(n)
 	worst := 0.0
 	for g := 0; g < n; g++ {
@@ -167,7 +252,6 @@ func initialPoint(sc *scaled, mu float64) *iterate {
 		it.z[g] = mu / even
 	}
 	it.nu = 0
-	return it
 }
 
 // kktSystem builds the Jacobian and residual of the perturbed KKT
@@ -308,8 +392,6 @@ func maxStep(v, dv linalg.Vector, frac float64) float64 {
 type filterSet struct {
 	entries [][2]float64
 }
-
-func newFilter() *filterSet { return &filterSet{} }
 
 func (f *filterSet) reset() { f.entries = f.entries[:0] }
 

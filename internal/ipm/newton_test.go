@@ -7,7 +7,7 @@ import (
 )
 
 func TestFilterAcceptance(t *testing.T) {
-	f := newFilter()
+	f := &filterSet{}
 	if !f.acceptable(1, 10) {
 		t.Fatal("empty filter must accept anything finite")
 	}
@@ -34,7 +34,7 @@ func TestFilterAcceptance(t *testing.T) {
 }
 
 func TestFilterPrunesDominated(t *testing.T) {
-	f := newFilter()
+	f := &filterSet{}
 	f.add(2, 20)
 	f.add(3, 30)
 	// (1,10) dominates both — they must be pruned.

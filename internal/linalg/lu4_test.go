@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLU4MatchesLU checks the specialized 4×4 factorization against the
+// general pivoted LU on random systems.
+func TestLU4MatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var m [16]float64
+		A := NewMatrix(4, 4)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				v := rng.NormFloat64() * math.Exp(rng.NormFloat64()*2)
+				m[i*4+j] = v
+				A.Set(i, j, v)
+			}
+		}
+		b := [4]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+
+		var f4 LU4
+		err4 := f4.Factor(&m)
+		var f LU
+		err := f.Factor(A)
+		if (err4 == nil) != (err == nil) {
+			t.Fatalf("trial %d: LU4 err=%v, LU err=%v", trial, err4, err)
+		}
+		if err != nil {
+			continue
+		}
+		var x4 [4]float64
+		f4.SolveInto(&x4, b)
+		x := NewVector(4)
+		if err := f.SolveInto(x, Vector(b[:])); err != nil {
+			t.Fatalf("trial %d: LU solve: %v", trial, err)
+		}
+		scale := 1.0
+		for i := 0; i < 4; i++ {
+			if a := math.Abs(x[i]); a > scale {
+				scale = a
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if d := math.Abs(x4[i] - x[i]); d > 1e-9*scale {
+				t.Fatalf("trial %d: x4[%d]=%g vs x[%d]=%g (diff %g)", trial, i, x4[i], i, x[i], d)
+			}
+		}
+	}
+}
+
+// TestLU4Singular checks that an exactly singular block reports ErrSingular,
+// matching the general LU's classification.
+func TestLU4Singular(t *testing.T) {
+	// Row 2 = row 0, so the matrix is rank deficient.
+	m := [16]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		1, 2, 3, 4,
+		0, 1, 0, 1,
+	}
+	var f LU4
+	if err := f.Factor(&m); err != ErrSingular {
+		t.Fatalf("Factor err = %v, want ErrSingular", err)
+	}
+	var zero [16]float64
+	if err := f.Factor(&zero); err != ErrSingular {
+		t.Fatalf("Factor(zero) err = %v, want ErrSingular", err)
+	}
+}
+
+// TestLU4ZeroAlloc pins the factor+solve cycle at zero heap allocations —
+// the structured KKT solver runs n of these per Newton iteration.
+func TestLU4ZeroAlloc(t *testing.T) {
+	m := [16]float64{
+		4, 1, 0, -1,
+		1, 3, 1, 0,
+		0, 1, 5, 1,
+		-1, 0, 1, 6,
+	}
+	b := [4]float64{1, 2, 3, 4}
+	var f LU4
+	var x [4]float64
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := f.Factor(&m); err != nil {
+			t.Fatal(err)
+		}
+		f.SolveInto(&x, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("LU4 factor+solve allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -236,22 +236,32 @@ func FuzzSolverInputs(f *testing.F) {
 		if len(vals) > 0 {
 			total = vals[len(vals)-1]
 		}
-		res, err := ipm.Solve(ipm.Problem{Curves: curves, Total: total}, ipm.Options{})
-		if err != nil {
-			return // typed failure is the acceptable outcome for garbage
-		}
-		var sum float64
-		for _, x := range res.X {
-			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
-				t.Fatalf("solver emitted invalid block size %g (total %g)", x, total)
+		check := func(tag string, res ipm.Result, err error) {
+			if err != nil {
+				return // typed failure is the acceptable outcome for garbage
 			}
-			sum += x
+			var sum float64
+			for _, x := range res.X {
+				if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+					t.Fatalf("%s solve emitted invalid block size %g (total %g)", tag, x, total)
+				}
+				sum += x
+			}
+			if math.IsNaN(res.Tau) || math.IsInf(res.Tau, 0) {
+				t.Fatalf("%s solve emitted non-finite makespan %g", tag, res.Tau)
+			}
+			if math.Abs(sum-total) > 1e-6*math.Max(1, math.Abs(total)) {
+				t.Fatalf("%s distribution sums to %g, want %g", tag, sum, total)
+			}
 		}
-		if math.IsNaN(res.Tau) || math.IsInf(res.Tau, 0) {
-			t.Fatalf("solver emitted non-finite makespan %g", res.Tau)
-		}
-		if math.Abs(sum-total) > 1e-6*math.Max(1, math.Abs(total)) {
-			t.Fatalf("distribution sums to %g, want %g", sum, total)
+		res, err := ipm.Solve(ipm.Problem{Curves: curves, Total: total}, ipm.Options{})
+		check("legacy", res, err)
+		// The structured, warm-started Solver must honor the same contract
+		// on the same garbage; the second pass exercises the warm path.
+		sv := ipm.NewSolver(ipm.Options{Structured: true, WarmStart: true})
+		for pass := 0; pass < 2; pass++ {
+			res, err := sv.Solve(ipm.Problem{Curves: curves, Total: total})
+			check("structured", res, err)
 		}
 	})
 }

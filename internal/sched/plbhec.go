@@ -71,8 +71,16 @@ type PLBHeC struct {
 	// CoverageFactor: probing continues while a unit's anticipated
 	// execution block exceeds this multiple of its largest probe.
 	CoverageFactor float64
-	// Solver configures the interior-point method.
+	// Solver configures the interior-point method. The zero value keeps
+	// the legacy stateless dense solver; Structured and/or WarmStart
+	// switch solves to a persistent ipm.Solver whose workspaces — and,
+	// warm-started, the previous rebalance's iterate — carry across
+	// solves.
 	Solver ipm.Options
+
+	// solver is the lazily built persistent solver used when the options
+	// opt into the structured or warm-started paths.
+	solver *ipm.Solver
 
 	phase        int // modeling, executing, draining
 	sampler      *profile.Sampler
@@ -134,8 +142,12 @@ func (p *PLBHeC) FirstModels() profile.Models { return p.firstModels }
 type plbStats struct {
 	fits, solves, rebalances, fallbacks float64
 	solverSeconds                       float64
-	modelRounds                         float64
-	failures                            float64
+	// warm/cold count successful solves by starting point; iters is the
+	// cumulative Newton iteration count across them, so warm-start savings
+	// show up as a lower iters/(warm+cold) mean.
+	warm, cold, iters float64
+	modelRounds       float64
+	failures          float64
 	// ladder counts failed solves handled by the degradation ladder.
 	ladder float64
 }
@@ -164,16 +176,19 @@ func (p *PLBHeC) Name() string { return "plb-hec" }
 // Stats implements starpu.StatsReporter.
 func (p *PLBHeC) Stats() map[string]float64 {
 	return map[string]float64{
-		"fits":            p.stats.fits,
-		"solves":          p.stats.solves,
-		"rebalances":      p.stats.rebalances,
-		"solverFallback":  p.stats.fallbacks,
-		"solverSeconds":   p.stats.solverSeconds,
-		"modelRounds":     p.stats.modelRounds,
-		"modelUnits":      p.usedUnits,
-		"failures":        p.stats.failures,
-		"ladderFallbacks": p.stats.ladder,
-		"ladderRung":      float64(p.rung),
+		"fits":             p.stats.fits,
+		"solves":           p.stats.solves,
+		"rebalances":       p.stats.rebalances,
+		"solverFallback":   p.stats.fallbacks,
+		"solverSeconds":    p.stats.solverSeconds,
+		"solverWarmStarts": p.stats.warm,
+		"solverColdStarts": p.stats.cold,
+		"solverIterations": p.stats.iters,
+		"modelRounds":      p.stats.modelRounds,
+		"modelUnits":       p.usedUnits,
+		"failures":         p.stats.failures,
+		"ladderFallbacks":  p.stats.ladder,
+		"ladderRung":       float64(p.rung),
 	}
 }
 
@@ -390,7 +405,7 @@ func (p *PLBHeC) solveDistribution(s *starpu.Session) {
 	// cost (miss fraction × link time), so the equal-finish-time solution
 	// shifts work toward units already holding the data.
 	curves = localityCurves(s, curves)
-	res, err := ipm.Solve(ipm.Problem{Curves: curves, Total: remaining}, p.Solver)
+	res, err := p.runSolver(ipm.Problem{Curves: curves, Total: remaining})
 	p.stats.solves++
 	s.ChargeSolve()
 	if err != nil {
@@ -404,19 +419,47 @@ func (p *PLBHeC) solveDistribution(s *starpu.Session) {
 		return
 	}
 	p.stats.solverSeconds += res.WallTime.Seconds()
+	p.stats.iters += float64(res.Iterations)
 	method := "ipm"
-	if res.UsedFallback {
+	switch {
+	case res.UsedFallback:
 		p.stats.fallbacks++
+		p.stats.cold++
 		method = "fallback"
+	case res.WarmStarted:
+		p.stats.warm++
+		method = "ipm-warm"
+	default:
+		p.stats.cold++
 	}
+	// End carries the solve's host wall time (not engine time): EvSolve is
+	// rendered as an instant, so the field is free for the metric.
 	s.Telemetry().Emit(telemetry.Event{
 		Kind: telemetry.EvSolve, Time: s.Now(), PU: -1, Name: method,
 		Value: float64(res.Iterations), Aux: res.KKTResidual,
+		End: res.WallTime.Seconds(),
 	})
 	for i, x := range res.X {
 		p.share[i] = x / remaining
 	}
 	p.noteSolveOK(s)
+}
+
+// runSolver dispatches one block-size solve. With the legacy zero-value
+// options it calls the stateless package solver — bit-for-bit the pinned
+// golden behavior. When the options opt into the structured or warm-started
+// paths it lazily builds a persistent ipm.Solver whose workspaces and
+// previous iterate carry across solves and rebalances. The Result.X of the
+// persistent solver aliases solver storage, which is safe here: the only
+// caller copies it into p.share immediately.
+func (p *PLBHeC) runSolver(prob ipm.Problem) (ipm.Result, error) {
+	if !p.Solver.Structured && !p.Solver.WarmStart {
+		return ipm.Solve(prob, p.Solver)
+	}
+	if p.solver == nil {
+		p.solver = ipm.NewSolver(p.Solver)
+	}
+	return p.solver.Solve(prob)
 }
 
 // submitBlocks hands every unit its first block of the new distribution.
@@ -640,6 +683,13 @@ func (p *PLBHeC) scanFailures(s *starpu.Session) bool {
 			s.NoteDeviceDown(i)
 			changed = true
 		}
+	}
+	if changed && p.solver != nil {
+		// Topology changed: the previous iterate describes a different
+		// active set, so the next solve must start cold. (The solver's own
+		// signature check would also catch this; invalidating here keeps
+		// the rule explicit and covers future share-preserving exclusions.)
+		p.solver.Invalidate()
 	}
 	return changed
 }

@@ -355,6 +355,7 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 			rep.Makespan = rec.ExecEnd
 		}
 	}
+	rep.PUNames = make([]string, 0, len(s.pus))
 	for _, pu := range s.pus {
 		rep.PUNames = append(rep.PUNames, pu.Name())
 	}
@@ -362,6 +363,16 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 	if sr, ok := sched.(StatsReporter); ok {
 		for k, v := range sr.Stats() {
 			rep.SchedulerStats[k] = v
+		}
+	}
+	if st := rep.SchedulerStats; st["solves"] > 0 {
+		rep.SolverStats = &SolverStats{
+			Solves:       st["solves"],
+			WarmStarts:   st["solverWarmStarts"],
+			ColdStarts:   st["solverColdStarts"],
+			Fallbacks:    st["solverFallback"],
+			Iterations:   st["solverIterations"],
+			SolveSeconds: st["solverSeconds"],
 		}
 	}
 	rep.LinkBusy = s.eng.linkBusy()
@@ -407,10 +418,15 @@ func (s *Session) initCommon(total int64) {
 	// growth copies: a run issues a handful of probing rounds plus a few
 	// execution blocks and re-requests per unit. 64 records per unit (~5 KB
 	// each unit) absorbs virtually every run in one allocation; outliers
-	// still grow normally.
+	// still grow normally. The cap bounds small-cluster waste, but a
+	// thousand-PU session produces at least several records per unit
+	// (probing rounds + execution steps), so the floor scales with n.
 	est := 64 * len(s.pus)
 	if est > 8192 {
 		est = 8192
+		if floor := 8 * len(s.pus); floor > est {
+			est = floor
+		}
 	}
 	if est > 0 {
 		s.records = make([]TaskRecord, 0, est)

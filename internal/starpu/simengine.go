@@ -171,6 +171,13 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 		pcieName: make([]string, n),
 	}
 	// One NIC and one PCIe resource per machine, built in cluster order.
+	// Every slice is sized from the catalog up front: at 10k PUs the
+	// append-growth copies otherwise show up in the session-construction
+	// profile.
+	se.machines = make([]*cluster.Machine, 0, len(clu.Machines))
+	se.nicRes = make([]*sim.Resource, 0, len(clu.Machines))
+	se.pcieRes = make([]*sim.Resource, 0, len(clu.Machines))
+	se.puRes = make([]*sim.Resource, 0, n)
 	machineIdx := make(map[*cluster.Machine]int, len(clu.Machines))
 	for i, m := range clu.Machines {
 		machineIdx[m] = i
@@ -193,6 +200,13 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 	// Every in-flight block holds at most one pending completion event;
 	// pre-sizing past the PU count keeps the steady state allocation-free.
 	se.eng.Grow(4*n + 16)
+	// Pre-populate the completion-payload pool to the expected in-flight
+	// ceiling (one block per unit, plus speculation headroom): steady-state
+	// launches then always pop instead of allocating mid-run.
+	se.freeComps = make([]*simCompletion, 0, n+16)
+	for i := 0; i < n; i++ {
+		se.freeComps = append(se.freeComps, &simCompletion{eng: se})
+	}
 	s.eng = se
 	return s
 }

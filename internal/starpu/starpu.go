@@ -293,6 +293,10 @@ type Report struct {
 	// by rung label ("last-good", "hdss", "greedy", "recovered"); nil when
 	// the ladder never engaged.
 	SolverFallbacks map[string]int64
+	// SolverStats summarizes the block-size solver's activity over the run,
+	// derived from the scheduler's counters. Nil for schedulers that report
+	// no solver activity (greedy, HDSS, Acosta, static).
+	SolverStats *SolverStats
 	// OverheadSpans lists every fit/solve interval charged to the master's
 	// clock, in charge order (simulation engine only; empty on the live
 	// engine or when overheads are disabled). The critical-path analyzer
@@ -306,6 +310,36 @@ type Report struct {
 	LatencyP99 float64
 	// LatencyP999 is the p99.9 per-block latency in seconds.
 	LatencyP999 float64
+}
+
+// SolverStats summarizes the block-size solver's activity over one run:
+// attempt counts, how the successful solves started, the Newton work they
+// did, and the host wall time spent. Warm vs cold is the scale story: a
+// warm-started rebalance re-enters the interior-point endgame directly, so
+// MeanIterations drops and large-cluster rebalances stay cheap.
+type SolverStats struct {
+	Solves       float64 // attempted equation-system solves (incl. failed)
+	WarmStarts   float64 // successful solves seeded from the previous iterate
+	ColdStarts   float64 // successful solves started from scratch
+	Fallbacks    float64 // solves that fell back to bisection
+	Iterations   float64 // cumulative Newton iterations across successful solves
+	SolveSeconds float64 // cumulative host wall-clock time in the solver
+}
+
+// MeanIterations is the average Newton iteration count per successful solve.
+func (s SolverStats) MeanIterations() float64 {
+	if d := s.WarmStarts + s.ColdStarts; d > 0 {
+		return s.Iterations / d
+	}
+	return 0
+}
+
+// WarmHitRate is the fraction of successful solves that warm-started.
+func (s SolverStats) WarmHitRate() float64 {
+	if d := s.WarmStarts + s.ColdStarts; d > 0 {
+		return s.WarmStarts / d
+	}
+	return 0
 }
 
 // engine abstracts the two execution backends.

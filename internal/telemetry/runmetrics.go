@@ -38,6 +38,8 @@ type RunMetrics struct {
 	phase  *Gauge
 
 	fits, solves, fallbacks    *Counter
+	warmStarts, coldStarts     *Counter
+	solveSeconds               *Counter
 	ipmIterations, ipmResidual *Gauge
 	coverage                   *Gauge
 	distChanges                *Counter
@@ -82,6 +84,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_ipm_iterations", "Newton iterations of the latest interior-point solve")
 	reg.Help("plbhec_ipm_kkt_residual", "KKT residual of the latest interior-point solve")
 	reg.Help("plbhec_ipm_fallbacks_total", "Solves that fell back to bisection")
+	reg.Help("plbhec_ipm_warm_starts_total", "Successful solves seeded from the previous solve's iterate")
+	reg.Help("plbhec_ipm_cold_starts_total", "Successful solves started from the cold interior point")
+	reg.Help("plbhec_solve_seconds", "Cumulative host wall-clock seconds spent in the block-size solver")
 	reg.Help("plbhec_model_coverage_ratio", "Fraction of the input consumed by the modeling phase")
 	reg.Help("plbhec_distribution_changes_total", "Recorded block-size distributions")
 	reg.Help("plbhec_distribution_l1_delta", "L1 distance between the last two recorded distributions")
@@ -129,6 +134,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	m.fits = reg.Counter("plbhec_model_fits_total")
 	m.solves = reg.Counter("plbhec_ipm_solves_total")
 	m.fallbacks = reg.Counter("plbhec_ipm_fallbacks_total")
+	m.warmStarts = reg.Counter("plbhec_ipm_warm_starts_total")
+	m.coldStarts = reg.Counter("plbhec_ipm_cold_starts_total")
+	m.solveSeconds = reg.Counter("plbhec_solve_seconds")
 	m.ipmIterations = reg.Gauge("plbhec_ipm_iterations")
 	m.ipmResidual = reg.Gauge("plbhec_ipm_kkt_residual")
 	m.coverage = reg.Gauge("plbhec_model_coverage_ratio")
@@ -212,8 +220,17 @@ func (m *RunMetrics) Consume(ev Event) {
 		m.solves.Inc()
 		m.ipmIterations.Set(ev.Value)
 		m.ipmResidual.Set(ev.Aux)
-		if ev.Name == "fallback" {
+		m.solveSeconds.Add(ev.End) // End carries the solve's host wall time
+		switch ev.Name {
+		case "fallback":
 			m.fallbacks.Inc()
+			m.coldStarts.Inc() // bisection is always a cold path
+		case "ipm-warm":
+			m.warmStarts.Inc()
+		case "ipm":
+			m.coldStarts.Inc()
+			// "failed" solves count toward neither: no distribution was
+			// produced.
 		}
 	case EvCoverage:
 		m.coverage.Set(ev.Value)

@@ -45,7 +45,10 @@ const (
 	// execution-time fit), Aux (R²).
 	EvFit
 	// EvSolve reports one block-size solve: Time, Value (solver
-	// iterations), Aux (KKT residual), Name ("ipm", "fallback", "failed").
+	// iterations), Aux (KKT residual), Name ("ipm", "ipm-warm" for a
+	// warm-started solve, "fallback", "failed"). End carries the solve's
+	// host wall-clock seconds (not engine time) on successful solves —
+	// EvSolve renders as an instant, so the span field is free.
 	EvSolve
 	// EvCoverage reports modeling-phase data coverage: Time, Value
 	// (fraction of the input consumed by probing).
