@@ -24,6 +24,7 @@ import (
 	"plbhec/internal/profile"
 	"plbhec/internal/sched"
 	"plbhec/internal/starpu"
+	"plbhec/internal/workload"
 )
 
 // simulate runs one scenario once and returns the report.
@@ -359,6 +360,46 @@ func BenchmarkFullEvaluation(b *testing.B) {
 		if err := expt.RunAll(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceThroughput measures the open-system service mode end to
+// end: a two-app, ten-simulated-second Poisson stream with bounded
+// admission, rebuilt and drained each op. It reports the offered request
+// count processed per wall second (req/s) and the simulated horizon covered
+// per wall second (sim-s), the service-mode analogue of Sim10kPU's
+// event-throughput figure.
+func BenchmarkServiceThroughput(b *testing.B) {
+	var offered int64
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		clu := cluster.TableI(cluster.Config{Machines: 2, Seed: int64(i)})
+		pol := starpu.ServicePolicy{
+			Apps: []starpu.ServiceApp{
+				{Name: "bs", Profile: expt.MakeApp(expt.BS, 100000).Profile(), SLOSeconds: 0.25,
+					Arrivals: workload.Spec{Kind: workload.Poisson, Rate: 200, Units: 64, Seed: 11}},
+				{Name: "mm", Profile: expt.MakeApp(expt.MM, 2048).Profile(), SLOSeconds: 1.0,
+					Arrivals: workload.Spec{Kind: workload.Poisson, Rate: 100, Units: 64, Seed: 23}},
+			},
+			Admission: workload.AdmissionPolicy{MaxInFlight: 32, MaxQueue: 16},
+			Horizon:   10,
+			Seed:      int64(i),
+		}
+		s, err := starpu.NewServiceSimSession(clu, pol, starpu.SimConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.RunService()
+		if err != nil {
+			b.Fatal(err)
+		}
+		offered += rep.Service.Offered
+		makespan += rep.Makespan
+	}
+	wall := b.Elapsed().Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(offered)/wall, "req/s")
+		b.ReportMetric(makespan/wall, "sim-s")
 	}
 }
 

@@ -12,6 +12,13 @@
 //	plbsim -app mm -sched plb-hec -perfetto out.json   # ui.perfetto.dev trace
 //	plbsim -app mm -sched plb-hec -listen :9090        # live /metrics endpoint
 //	plbsim -app mm -size 65536 -cpuprofile cpu.pprof   # profile the run
+//
+// Open-system service mode (docs/SERVICE.md) — requests arrive on a seeded
+// stream instead of a fixed input drained to a makespan:
+//
+//	plbsim -app bs -size 100000 -arrivals poisson -rate 50 -req-units 64 -slo 0.25
+//	plbsim -app mm -size 8192 -arrivals bursty -rate 20 -horizon 30
+//	plbsim -app bs -arrivals poisson -rate 500 -slo 0.25 -no-admission   # overload ablation
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"plbhec/internal/telemetry"
 	"plbhec/internal/telemetry/span"
 	"plbhec/internal/trace"
+	"plbhec/internal/workload"
 )
 
 func main() { os.Exit(run()) }
@@ -57,6 +65,13 @@ func run() int {
 		passes   = flag.Int("passes", 1, "process the input this many times over (a repeated-handle workload)")
 		explain  = flag.Bool("explain", false, "record causal spans and print the run's critical-path attribution (blame vector, latency percentiles, critical chains)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+
+		arrivals = flag.String("arrivals", "", "open-system service mode: arrival process poisson | bursty | diurnal (docs/SERVICE.md)")
+		rate     = flag.Float64("rate", 50, "service mode: mean arrival rate, requests/s")
+		reqUnits = flag.Int64("req-units", 64, "service mode: work units per request")
+		slo      = flag.Float64("slo", 0, "service mode: p99 latency SLO in seconds (0: no SLO shedding)")
+		horizon  = flag.Float64("horizon", 10, "service mode: arrival-stream length in seconds")
+		noAdmit  = flag.Bool("no-admission", false, "service mode: disable admission control (the overload ablation)")
 	)
 	flag.Parse()
 
@@ -79,6 +94,10 @@ func run() int {
 	cfg := starpu.SimConfig{}
 	if *locality {
 		cfg.Locality = starpu.DefaultLocalityPolicy()
+	}
+	if *arrivals != "" {
+		return runServiceMode(kind, *size, *machines, *seed, *dual,
+			*arrivals, *rate, *reqUnits, *slo, *horizon, *noAdmit, *listen)
 	}
 	if *schedStr == "all" {
 		return compareAll(kind, *size, *machines, *seed, *block, *dual, *passes, cfg)
@@ -257,6 +276,115 @@ func run() int {
 			}
 		case err := <-srvErr:
 			// The endpoint died on its own — no longer a silent failure.
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plbsim: metrics server: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// runServiceMode executes one open-system run: the app's requests arrive on
+// the chosen seeded stream, admission bounds load against the SLO, and the
+// printed report covers admission accounting and the latency distribution.
+// It returns the process exit code.
+func runServiceMode(kind expt.AppKind, size int64, machines int, seed int64, dual bool,
+	model string, rate float64, reqUnits int64, slo, horizon float64, noAdmit bool,
+	listen string) int {
+	var wk workload.Kind
+	switch model {
+	case "poisson":
+		wk = workload.Poisson
+	case "bursty":
+		wk = workload.Bursty
+	case "diurnal":
+		wk = workload.Diurnal
+	default:
+		fmt.Fprintf(os.Stderr, "plbsim: -arrivals %q: want poisson, bursty or diurnal\n", model)
+		return 2
+	}
+	a := expt.MakeApp(kind, size)
+	clu := cluster.TableI(cluster.Config{
+		Machines: machines, Seed: seed,
+		NoiseSigma: cluster.DefaultNoiseSigma, DualGPU: dual,
+	})
+	pol := starpu.ServicePolicy{
+		Apps: []starpu.ServiceApp{{
+			Name: a.Name(), Profile: a.Profile(), SLOSeconds: slo,
+			Arrivals: workload.Spec{Kind: wk, Rate: rate, Units: reqUnits, Seed: seed},
+		}},
+		Horizon: horizon,
+		Seed:    seed,
+	}
+	pol.Admission.Disabled = noAdmit
+	sess, err := starpu.NewServiceSimSession(clu, pol, starpu.SimConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+		return 1
+	}
+	var (
+		srv     *http.Server
+		srvAddr net.Addr
+		srvErr  <-chan error
+	)
+	if listen != "" {
+		var names []string
+		for _, pu := range clu.PUs() {
+			names = append(names, pu.Name())
+		}
+		tel := telemetry.New()
+		tel.Attach(telemetry.NewRunMetrics(tel.Registry(), names))
+		sess.AttachTelemetry(tel)
+		srv, srvAddr, srvErr, err = telemetry.ListenAndServe(listen, tel.Registry(), &telemetry.AttributionStore{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("serving /metrics and /healthz on http://%s\n", srvAddr)
+	}
+	rep, err := sess.RunService()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbsim: %v\n", err)
+		return 1
+	}
+	sv := rep.Service
+	fmt.Printf("service mode: app=%s arrivals=%s rate=%.1f/s req=%d units slo=%.3fs horizon=%.1fs machines=%d seed=%d\n",
+		a.Name(), model, rate, reqUnits, slo, horizon, machines, seed)
+	if noAdmit {
+		fmt.Println("admission control: DISABLED (overload ablation)")
+	}
+	fmt.Printf("makespan: %.3fs  blocks: %d\n\n", rep.Makespan, len(rep.Records))
+	for _, ap := range sv.Apps {
+		fmt.Printf("app %-12s offered %6d  admitted %6d  shed %6d  deferred-ever %5d  queued-at-end %d\n",
+			ap.Name, ap.Offered, ap.Admitted, ap.Shed, ap.DeferredTotal, ap.QueuedAtEnd)
+		fmt.Printf("  latency p50 %.4fs  p99 %.4fs  p99.9 %.4fs\n", ap.LatencyP50, ap.LatencyP99, ap.LatencyP999)
+		fmt.Printf("  done %d  within-SLO %d  goodput %.1f req/s  shed rate %.3f\n",
+			ap.RequestsDone, ap.WithinSLO, ap.GoodputRPS, ap.ShedRate)
+		if ap.SLOViolationAt >= 0 {
+			fmt.Printf("  live p99 first exceeded the SLO at t=%.3fs\n", ap.SLOViolationAt)
+		} else if ap.SLOSeconds > 0 {
+			fmt.Println("  live p99 never exceeded the SLO")
+		}
+	}
+	fmt.Println("\nper-unit usage:")
+	for _, u := range metrics.Usage(rep) {
+		fmt.Printf("  %-20s busy %8.3fs  idle %5.1f%%  tasks %4d  units %8d\n",
+			u.Name, u.BusySeconds, 100*u.IdleFraction, u.Tasks, u.Units)
+	}
+	if listen != "" {
+		fmt.Printf("\nrun finished; metrics still serving on http://%s — interrupt (ctrl-C) to exit\n", srvAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-ch:
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "plbsim: shutdown: %v\n", err)
+				return 1
+			}
+		case err := <-srvErr:
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "plbsim: metrics server: %v\n", err)
 				return 1

@@ -2,8 +2,6 @@ package expt
 
 import (
 	"context"
-	"errors"
-	"fmt"
 
 	"plbhec/internal/metrics"
 	"plbhec/internal/starpu"
@@ -61,80 +59,15 @@ func RunCell(sc Scenario, name SchedName) (*Result, error) {
 	return NewRunner(context.Background(), 1).RunCell(sc, name)
 }
 
-// repOutcome is the per-seed slot RunCell's fan-out fills. Aggregation
-// reads the slots in seed order afterwards, which is what makes the
-// parallel runner's floating-point results identical to the sequential
-// one's.
-type repOutcome struct {
-	makespan   float64
-	idle       float64
-	dist       []float64
-	puIdle     []float64
-	schedStats map[string]float64
-	report     *starpu.Report
-	timedOut   bool
-}
-
 // RunCell executes one (scenario, scheduler) cell, fanning the repetitions
-// out over the runner's pool and aggregating them in seed order.
+// out over the runner's pool and aggregating them in seed order. The
+// session construction lives in scenarioSource; the shared fan-out engine
+// is runReps (see source.go).
 func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 	if sc.Seeds <= 0 {
 		sc.Seeds = DefaultSeeds
 	}
-	r.cellsActive.Add(1)
-	defer func() {
-		r.cellsActive.Add(-1)
-		r.cellsDone.Add(1)
-	}()
-
-	reps := make([]repOutcome, sc.Seeds)
-	err := r.forEach(sc.Seeds, func(i int) error {
-		app := MakeApp(sc.Kind, sc.Size).WithPasses(sc.Passes)
-		clu := sc.Cluster(i)
-		cfg := starpu.SimConfig{Locality: sc.Locality}
-		if sc.NoOverheads {
-			cfg.Overheads = starpu.NoOverheads()
-		}
-		sess := starpu.NewSimSession(clu, app, cfg)
-		ctx := r.ctx
-		if r.cellTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(r.ctx, r.cellTimeout)
-			defer cancel()
-		}
-		sess.SetContext(ctx)
-		s, err := NewScheduler(name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
-		if err != nil {
-			return err
-		}
-		rep, err := sess.Run(s)
-		if err != nil {
-			// A repetition cancelled by the per-cell deadline — parent
-			// context still alive — is a timeout data point, not a sweep
-			// failure.
-			if errors.Is(ctx.Err(), context.DeadlineExceeded) && r.ctx.Err() == nil {
-				reps[i].timedOut = true
-				return nil
-			}
-			return fmt.Errorf("expt: %s/%s seed %d: %w", sc.Label(), name, i, err)
-		}
-		out := &reps[i]
-		out.report = rep
-		out.makespan = rep.Makespan
-		out.idle = metrics.MeanIdle(rep)
-		if name == Acosta {
-			out.dist = metrics.FinalDistribution(rep)
-		} else {
-			out.dist = metrics.ModelingDistribution(rep)
-		}
-		usage := metrics.Usage(rep)
-		out.puIdle = make([]float64, len(usage))
-		for j, u := range usage {
-			out.puIdle[j] = u.IdleFraction
-		}
-		out.schedStats = rep.SchedulerStats
-		return nil
-	})
+	reports, err := r.runReps(scenarioSource{sc: sc, name: name}, sc.Seeds)
 	if err != nil {
 		return nil, err
 	}
@@ -142,29 +75,37 @@ func (r *Runner) RunCell(sc Scenario, name SchedName) (*Result, error) {
 	res := &Result{Scenario: sc, Sched: name, SchedStats: map[string]float64{}}
 	var makespans, idles []float64
 	var dists, puIdles [][]float64
-	for i := range reps {
-		rep := &reps[i]
-		if rep.timedOut {
+	for _, rep := range reports {
+		if rep == nil {
 			res.TimedOut++
 			continue
 		}
-		res.LastReport = rep.report
+		res.LastReport = rep
 		if res.PUNames == nil {
-			res.PUNames = rep.report.PUNames
+			res.PUNames = rep.PUNames
 		}
-		if rep.report.Latency != nil {
+		if rep.Latency != nil {
 			if res.Latency == nil {
 				res.Latency = stats.NewQuantileSketch()
 			}
-			res.Latency.Merge(rep.report.Latency)
+			res.Latency.Merge(rep.Latency)
 		}
-		makespans = append(makespans, rep.makespan)
-		idles = append(idles, rep.idle)
-		if rep.dist != nil {
-			dists = append(dists, rep.dist)
+		makespans = append(makespans, rep.Makespan)
+		idles = append(idles, metrics.MeanIdle(rep))
+		dist := metrics.ModelingDistribution(rep)
+		if name == Acosta {
+			dist = metrics.FinalDistribution(rep)
 		}
-		puIdles = append(puIdles, rep.puIdle)
-		for k, v := range rep.schedStats {
+		if dist != nil {
+			dists = append(dists, dist)
+		}
+		usage := metrics.Usage(rep)
+		puIdle := make([]float64, len(usage))
+		for j, u := range usage {
+			puIdle[j] = u.IdleFraction
+		}
+		puIdles = append(puIdles, puIdle)
+		for k, v := range rep.SchedulerStats {
 			res.SchedStats[k] += v / float64(sc.Seeds)
 		}
 	}

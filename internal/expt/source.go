@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"plbhec/internal/starpu"
+)
+
+// cellSource is the workload half of a cell: it knows how to build one
+// repetition's session and the scheduler that drives it. The experiment
+// half — fan-out, per-cell timeouts, cancellation, seed-order aggregation —
+// lives in Runner.runReps, shared between closed-system scenario cells
+// (RunCell) and open-system service cells (RunServiceCell).
+type cellSource interface {
+	// Label names the cell for error messages, e.g. "mm-65536-m4/plb-hec".
+	Label() string
+	// Build constructs repetition i's session and scheduler. The session
+	// must be fresh (sessions are single-run).
+	Build(i int) (*starpu.Session, starpu.Scheduler, error)
+}
+
+// scenarioSource adapts a closed-system (Scenario, SchedName) cell to
+// cellSource: a fixed input processed to completion.
+type scenarioSource struct {
+	sc   Scenario
+	name SchedName
+}
+
+func (s scenarioSource) Label() string { return s.sc.Label() + "/" + string(s.name) }
+
+func (s scenarioSource) Build(i int) (*starpu.Session, starpu.Scheduler, error) {
+	sc := s.sc
+	app := MakeApp(sc.Kind, sc.Size).WithPasses(sc.Passes)
+	clu := sc.Cluster(i)
+	cfg := starpu.SimConfig{Locality: sc.Locality}
+	if sc.NoOverheads {
+		cfg.Overheads = starpu.NoOverheads()
+	}
+	sess := starpu.NewSimSession(clu, app, cfg)
+	sched, err := NewScheduler(s.name, InitialBlock(sc.Kind, sc.Size, sc.Machines))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, sched, nil
+}
+
+// runReps fans a source's repetitions over the runner's pool. Repetition i
+// lands its report in slot i; a repetition cancelled by the per-cell
+// deadline (parent context still alive) leaves a nil slot — a timeout data
+// point, not a sweep failure. Aggregation happens post-hoc in seed order,
+// which is what makes the parallel runner's floating-point results
+// bit-identical to the sequential one's.
+func (r *Runner) runReps(src cellSource, seeds int) ([]*starpu.Report, error) {
+	r.cellsActive.Add(1)
+	defer func() {
+		r.cellsActive.Add(-1)
+		r.cellsDone.Add(1)
+	}()
+	reports := make([]*starpu.Report, seeds)
+	err := r.forEach(seeds, func(i int) error {
+		sess, s, err := src.Build(i)
+		if err != nil {
+			return err
+		}
+		ctx := r.ctx
+		if r.cellTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(r.ctx, r.cellTimeout)
+			defer cancel()
+		}
+		sess.SetContext(ctx)
+		rep, err := sess.Run(s)
+		if err != nil {
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) && r.ctx.Err() == nil {
+				return nil
+			}
+			return fmt.Errorf("expt: %s seed %d: %w", src.Label(), i, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	return reports, err
+}

@@ -35,12 +35,20 @@ type LiveWorkerSpec struct {
 // on the driving goroutine, so scheduler callbacks stay single-threaded
 // exactly as on the simulation engine.
 type liveEngine struct {
-	session  *Session
-	kernel   LiveKernel
-	start    time.Time
-	workers  []chan liveAssign
-	complete chan liveDone
-	specs    []LiveWorkerSpec
+	session *Session
+	kernel  LiveKernel
+	// kernels, in service mode, maps app index → kernel; block app indices
+	// travel in liveAssign. Nil outside service mode (kernel serves all).
+	// Written once before any assignment is sent; the channel send/receive
+	// pair orders the write before every worker read.
+	kernels []LiveKernel
+	// svcArrivals carries the feeder goroutine's replayed requests into the
+	// driving goroutine (service mode only); closed when the stream ends.
+	svcArrivals chan svcArrival
+	start       time.Time
+	workers     []chan liveAssign
+	complete    chan liveDone
+	specs       []LiveWorkerSpec
 	// queueBusy accumulates, per worker, the time blocks spent waiting in
 	// the worker's channel between submission and pickup. Written only on
 	// the driving goroutine (drive), so no lock is needed.
@@ -77,6 +85,7 @@ type liveAssign struct {
 	lo, hi  int64
 	submit  float64
 	retries int
+	app     int32 // owning app index (service mode; 0 otherwise)
 }
 
 // liveDone is one worker's completion report: the finished record, or — when
@@ -200,11 +209,11 @@ func (e *liveEngine) linkBusy() map[string]float64 {
 }
 
 // executeParallel splits [lo,hi) into par contiguous stripes executed
-// concurrently. Kernels in internal/apps are safe on disjoint ranges.
-func (e *liveEngine) executeParallel(lo, hi int64, par int) {
+// concurrently on k. Kernels in internal/apps are safe on disjoint ranges.
+func (e *liveEngine) executeParallel(k LiveKernel, lo, hi int64, par int) {
 	n := hi - lo
 	if par <= 1 || n < int64(par) {
-		e.kernel.Execute(lo, hi)
+		k.Execute(lo, hi)
 		return
 	}
 	var wg sync.WaitGroup
@@ -218,10 +227,19 @@ func (e *liveEngine) executeParallel(lo, hi int64, par int) {
 		wg.Add(1)
 		go func(a, b int64) {
 			defer wg.Done()
-			e.kernel.Execute(a, b)
+			k.Execute(a, b)
 		}(a, b)
 	}
 	wg.Wait()
+}
+
+// appOf returns the owning app index of block seq (service mode; 0
+// otherwise). Called on the driving goroutine only.
+func (e *liveEngine) appOf(seq int) int32 {
+	if sv := e.session.svc; sv != nil {
+		return sv.blocks[seq].app
+	}
+	return 0
 }
 
 func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float64, retries int) {
@@ -239,7 +257,9 @@ func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest floa
 			}
 		}
 	}
-	e.workers[pu.ID] <- liveAssign{seq: seq, lo: lo, hi: hi, submit: submit, retries: retries}
+	e.workers[pu.ID] <- liveAssign{
+		seq: seq, lo: lo, hi: hi, submit: submit, retries: retries, app: e.appOf(seq),
+	}
 }
 
 // abortInFlight implements engine. The live engine cannot interrupt a real
@@ -255,7 +275,7 @@ func (e *liveEngine) abortInFlight(pu int) {}
 // the handoff while completions keep draining.
 func (e *liveEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int) {
 	e.session.fetchBytes(pu.ID, seq, lo, hi)
-	a := liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries}
+	a := liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries, app: e.appOf(seq)}
 	select {
 	case e.workers[pu.ID] <- a:
 	default:
@@ -264,29 +284,87 @@ func (e *liveEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, h
 }
 
 func (e *liveEngine) drive() error {
+	if e.session.svc != nil {
+		return e.driveService()
+	}
 	if e.session.spec != nil {
 		return e.driveSpec()
 	}
 	for e.session.inflight > 0 {
-		d := <-e.complete
-		if d.failed {
-			e.session.NoteDeviceDown(d.rec.PU)
-			if !e.session.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
-				// The block cannot be requeued (retries exhausted or no
-				// survivors): the run is failing, settle its in-flight
-				// account so the loop can drain the rest and exit.
-				e.session.inflight--
+		e.handleLegacyDone(<-e.complete)
+	}
+	for _, ch := range e.workers {
+		close(ch)
+	}
+	return nil
+}
+
+// handleLegacyDone processes one completion report without watchdog state:
+// failed pickups requeue (or settle their in-flight account when the run is
+// already failing), successes deliver to the session.
+func (e *liveEngine) handleLegacyDone(d liveDone) {
+	if d.failed {
+		e.session.NoteDeviceDown(d.rec.PU)
+		if !e.session.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
+			// The block cannot be requeued (retries exhausted or no
+			// survivors): the run is failing, settle its in-flight
+			// account so the loop can drain the rest and exit.
+			e.session.inflight--
+		}
+		return
+	}
+	rec := d.rec
+	if rec.TransferEnd > rec.TransferStart {
+		// emitLink merges overlapping queue-wait intervals per worker, so
+		// concurrently queued blocks cannot push LinkBusy past wall time.
+		e.queueBusy[rec.PU] += e.session.emitLink(e.queueName[rec.PU],
+			rec.TransferStart, rec.TransferEnd, rec.Units)
+	}
+	e.session.onComplete(rec)
+}
+
+// startServiceFeeder launches the goroutine that replays the merged arrival
+// stream in wall-clock time, handing each request to the driving goroutine
+// over svcArrivals (closed when the stream ends).
+func (e *liveEngine) startServiceFeeder() {
+	e.svcArrivals = make(chan svcArrival, 64)
+	arrivals := e.session.svc.arrivals
+	go func() {
+		for _, r := range arrivals {
+			if d := time.Duration((r.t - e.now()) * float64(time.Second)); d > 0 {
+				time.Sleep(d)
 			}
-			continue
+			e.svcArrivals <- r
 		}
-		rec := d.rec
-		if rec.TransferEnd > rec.TransferStart {
-			// emitLink merges overlapping queue-wait intervals per worker, so
-			// concurrently queued blocks cannot push LinkBusy past wall time.
-			e.queueBusy[rec.PU] += e.session.emitLink(e.queueName[rec.PU],
-				rec.TransferStart, rec.TransferEnd, rec.Units)
+		close(e.svcArrivals)
+	}()
+}
+
+// driveService is the open-system completion loop: it multiplexes worker
+// completions with the feeder's arrivals until the stream is exhausted,
+// nothing is in flight, and the deferred queue has drained (or can no
+// longer drain — every unit dead). Receiving from the nil'd-out arrivals
+// channel blocks forever, so after the stream closes the select degenerates
+// to the completion loop.
+func (e *liveEngine) driveService() error {
+	s := e.session
+	arr := e.svcArrivals
+	for {
+		if arr == nil && s.inflight == 0 {
+			break // stream done, nothing running; any queue leftover has no unit to go to
 		}
-		e.session.onComplete(rec)
+		select {
+		case r, ok := <-arr:
+			if !ok {
+				arr = nil
+				e.svcArrivals = nil
+				continue
+			}
+			s.serviceArrive(r)
+			s.serviceDrain()
+		case d := <-e.complete:
+			e.handleLegacyDone(d)
+		}
 	}
 	for _, ch := range e.workers {
 		close(ch)
@@ -472,8 +550,12 @@ func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 			}
 			continue
 		}
+		k := e.kernel
+		if e.kernels != nil {
+			k = e.kernels[a.app]
+		}
 		t0 := e.now()
-		e.executeParallel(a.lo, a.hi, par)
+		e.executeParallel(k, a.lo, a.hi, par)
 		t1 := e.now()
 		if slow > 1 {
 			time.Sleep(time.Duration(float64(time.Second) * (slow - 1) * (t1 - t0)))

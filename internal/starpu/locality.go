@@ -117,7 +117,7 @@ func (s *Session) initLocality(dataUnits int64, capacities []float64) {
 // charges the residency cache — handles touched become resident (evicting
 // LRU tiles over capacity) and only misses pay transfer.
 func (s *Session) fetchBytes(pu int, seq int, lo, hi int64) float64 {
-	full := float64(hi-lo) * s.profile.TransferBytesPerUnit
+	full := float64(hi-lo) * s.transferBytesPerUnit(seq)
 	if s.res == nil {
 		return full
 	}

@@ -1,0 +1,127 @@
+package starpu
+
+import (
+	"testing"
+
+	"plbhec/internal/apps"
+	"plbhec/internal/cluster"
+	"plbhec/internal/workload"
+)
+
+// Chaos composition: the open-system service mode layered over the
+// resilience machinery. A device dies mid-stream and later recovers, or
+// turns into a straggler under speculation — the request accounting must
+// stay conserved, every dispatched unit must complete exactly once, and the
+// stream must keep flowing on the surviving units.
+
+// svcChaosPolicy is a single-app half-load stream long enough to straddle a
+// fault window at t in [1, 2.5].
+func svcChaosPolicy(clu *cluster.Cluster) ServicePolicy {
+	prof := apps.NewBlackScholes(apps.BlackScholesConfig{Options: 1 << 16}).Profile()
+	const units = 64
+	return ServicePolicy{
+		Apps: []ServiceApp{{
+			Name: "bs", Profile: prof, SLOSeconds: 2,
+			Arrivals: workload.Spec{
+				Kind: workload.Poisson, Units: units, Seed: 13,
+				Rate: 0.5 * svcCapacityRPS(clu, prof, units),
+			},
+		}},
+		Horizon: 5,
+		Seed:    21,
+	}
+}
+
+// TestServiceChaosDeviceDeathAndRecovery kills a unit mid-stream and brings
+// it back: the run must survive on retries, cover every dispatched unit
+// exactly once, keep the admission accounts conserved, and resume placing
+// work on the recovered unit.
+func TestServiceChaosDeviceDeathAndRecovery(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 6})
+	s, err := NewServiceSimSession(clu, svcChaosPolicy(clu), SimConfig{
+		Retry: DefaultRetryPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 1
+	const failAt, recoverAt = 1.0, 2.5
+	dev := s.PUs()[target].Dev
+	if err := s.ScheduleAt(failAt, func() {
+		dev.SetSpeedFactor(0)
+		s.DeviceStateChanged(target)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScheduleAt(recoverAt, func() {
+		dev.SetSpeedFactor(1)
+		s.DeviceStateChanged(target)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunService()
+	if err != nil {
+		t.Fatalf("death mid-stream killed the run: %v", err)
+	}
+	sv := rep.Service
+	checkServiceConservation(t, sv)
+	checkExactlyOnce(t, rep.Records, rep.TotalUnits)
+	if sv.QueuedAtEnd != 0 {
+		t.Errorf("drain left %d requests queued", sv.QueuedAtEnd)
+	}
+	if sv.Apps[0].RequestsDone != sv.Apps[0].Admitted {
+		t.Errorf("admitted %d but completed %d", sv.Apps[0].Admitted, sv.Apps[0].RequestsDone)
+	}
+	if res := rep.Resilience[target]; res.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1 (%+v)", res.Recoveries, res)
+	}
+	// Mid-stream recovery: the revived unit takes work again.
+	postRecovery := false
+	for _, r := range rep.Records {
+		if r.PU == target && r.ExecStart > recoverAt {
+			postRecovery = true
+			break
+		}
+	}
+	if !postRecovery {
+		t.Error("recovered unit never ran another block")
+	}
+}
+
+// TestServiceChaosStragglerSpeculation turns a unit into a 20x straggler
+// mid-stream under a speculation policy: backup copies win, exactly-once
+// holds across the duplicated executions, and the accounts stay conserved.
+func TestServiceChaosStragglerSpeculation(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 2, Seed: 16})
+	s, err := NewServiceSimSession(clu, svcChaosPolicy(clu), SimConfig{
+		Retry: DefaultRetryPolicy(),
+		Spec: &SpeculationPolicy{
+			DeadlineMultiplier: 2, MinObservations: 1, SlowAfter: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ETA dispatcher concentrates load on the fast units, so the
+	// straggler must be one of them for the fault to matter: PU 1 is the
+	// machine-A GPU, busy throughout the stream.
+	const target = 1
+	if err := s.ScheduleAt(1.0, func() {
+		s.PUs()[target].Dev.SetSpeedFactor(0.05)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunService()
+	if err != nil {
+		t.Fatalf("straggler killed the run: %v", err)
+	}
+	sv := rep.Service
+	checkServiceConservation(t, sv)
+	checkExactlyOnce(t, rep.Records, rep.TotalUnits)
+	if sv.Apps[0].RequestsDone != sv.Apps[0].Admitted {
+		t.Errorf("admitted %d but completed %d", sv.Apps[0].Admitted, sv.Apps[0].RequestsDone)
+	}
+	if rep.Resilience[target].Speculations < 1 {
+		t.Errorf("20x straggler tripped no watchdog: %+v", rep.Resilience[target])
+	}
+}

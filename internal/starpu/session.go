@@ -108,6 +108,13 @@ type Session struct {
 	// master's clock, surfaced as Report.OverheadSpans.
 	overheadLog []OverheadSpan
 
+	// svc, when non-nil, puts the session in open-system service mode:
+	// requests arrive mid-run on seeded workload streams, several apps with
+	// distinct profiles share the session, and admission control bounds the
+	// load (see service.go). Nil keeps the closed-system behavior — and the
+	// golden record streams — bit-for-bit, mirroring the policies above.
+	svc *serviceState
+
 	records       []TaskRecord
 	distributions []Distribution
 	sched         Scheduler
@@ -329,6 +336,12 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 	if s.violation != nil {
 		return nil, s.violation
 	}
+	if s.svc != nil {
+		if _, ok := sched.(serviceDispatcher); !ok {
+			return nil, runtimeError("service sessions run under the built-in dispatcher "+
+				"(ServiceScheduler or RunService), not %q", sched.Name())
+		}
+	}
 	s.sched = sched
 	sched.Start(s)
 	if s.remaining > 0 && s.inflight == 0 {
@@ -354,6 +367,9 @@ func (s *Session) Run(sched Scheduler) (*Report, error) {
 		if rec.ExecEnd > rep.Makespan {
 			rep.Makespan = rec.ExecEnd
 		}
+	}
+	if s.svc != nil {
+		rep.Service = s.serviceReportFinal(rep.Makespan)
 	}
 	rep.PUNames = make([]string, 0, len(s.pus))
 	for _, pu := range s.pus {

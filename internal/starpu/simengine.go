@@ -5,6 +5,7 @@ import (
 
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
+	"plbhec/internal/device"
 	"plbhec/internal/sim"
 	"plbhec/internal/telemetry"
 )
@@ -139,6 +140,14 @@ func NoOverheads() *OverheadModel { return &OverheadModel{} }
 
 // NewSimSession builds a simulated session of app on clu.
 func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session {
+	return newSimSession(clu, app.Profile(), app.Name(), app.TotalUnits(), app.DataUnits(), cfg)
+}
+
+// newSimSession is the engine-setup core shared by the closed-system
+// constructor above and the service constructor (service.go), which differ
+// only in where profile and totals come from.
+func newSimSession(clu *cluster.Cluster, profile device.KernelProfile, appName string,
+	totalUnits, dataUnits int64, cfg SimConfig) *Session {
 	ov := DefaultOverheads()
 	if cfg.Overheads != nil {
 		ov = *cfg.Overheads
@@ -146,22 +155,22 @@ func NewSimSession(clu *cluster.Cluster, app *apps.App, cfg SimConfig) *Session 
 	s := &Session{
 		clu:       clu,
 		pus:       clu.PUs(),
-		profile:   app.Profile(),
-		appName:   app.Name(),
+		profile:   profile,
+		appName:   appName,
 		overheads: ov,
 		chargeOn:  true,
 		retry:     cfg.Retry.normalized(),
 		spec:      cfg.Spec.normalized(),
 		loc:       cfg.Locality.normalized(),
 	}
-	s.initCommon(app.TotalUnits())
+	s.initCommon(totalUnits)
 	n := len(s.pus)
 	s.enforceMem = cfg.EnforceMemory
 	s.memCap = make([]float64, n)
 	for i, pu := range s.pus {
 		s.memCap[i] = pu.Dev.MemGB * 1e9
 	}
-	s.initLocality(app.DataUnits(), s.memCap)
+	s.initLocality(dataUnits, s.memCap)
 	se := &simEngine{
 		eng:      sim.New(),
 		session:  s,
@@ -248,7 +257,7 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 	if earliest > t {
 		t = earliest // master still busy computing the schedule
 	}
-	prof := e.session.profile
+	prof := e.session.profileFor(seq)
 	if !e.session.checkMemory(pu.ID, seq, units) {
 		return // typed violation recorded; the queue drains and Run reports it
 	}
@@ -346,7 +355,7 @@ func (e *simEngine) watchdogFire(c *simCompletion, gen uint64) {
 // false — and touches no resources — when pu cannot execute the block.
 func (e *simEngine) launchBackup(orig *simCompletion, pu *cluster.PU) bool {
 	units := orig.rec.Units
-	prof := e.session.profile
+	prof := e.session.profileFor(orig.rec.Seq)
 	exec := pu.Dev.ExecSeconds(prof, float64(units))
 	if exec != exec || exec < 0 || exec > 1e18 {
 		return false

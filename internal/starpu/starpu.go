@@ -302,6 +302,10 @@ type Report struct {
 	// engine or when overheads are disabled). The critical-path analyzer
 	// uses them to attribute PU stalls to solver overhead.
 	OverheadSpans []OverheadSpan
+	// Service is the open-system section: per-app request latencies,
+	// goodput, shed rates, and admission totals. Nil for closed-system runs
+	// (no ServicePolicy attached).
+	Service *ServiceReport
 	// Latency is the streaming sketch over per-block submit→completion
 	// latencies (TaskRecord.TotalSeconds); nil when the run completed no
 	// blocks. LatencyP50/P99/P999 are its quantiles at run end.

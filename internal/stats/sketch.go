@@ -99,6 +99,20 @@ func (s *QuantileSketch) Observe(v float64) {
 	s.sum += v
 }
 
+// Reset empties the sketch in place, keeping the bucket storage, so a
+// windowed consumer can roll measurement windows without allocating.
+func (s *QuantileSketch) Reset() {
+	if s == nil || s.n == 0 {
+		return
+	}
+	for i := s.lo; i <= s.hi; i++ {
+		s.counts[i] = 0
+	}
+	s.n, s.sum = 0, 0
+	s.min, s.max = 0, 0
+	s.lo, s.hi = 0, 0
+}
+
 // Merge folds o into s. Bucket counts add, so merging is commutative and
 // associative on the counts; only the running sum is order-sensitive (last
 // ulp), which is why the runner merges in seed order. o is unchanged.

@@ -51,6 +51,7 @@ type RunMetrics struct {
 	specWasted                 *Counter
 	handleHits, handleMisses   *Counter
 	handleEvictions            *Counter
+	admitted, shed, deferred   *Counter
 
 	lastShares []float64
 	phaseCodes map[string]int
@@ -103,6 +104,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_handle_hits_total", "Block-input handles already resident on their target unit (transfer avoided)")
 	reg.Help("plbhec_handle_misses_total", "Block-input handles fetched onto their target unit (transfer paid)")
 	reg.Help("plbhec_handle_evictions_total", "Resident handles displaced by memory-capacity pressure (LRU)")
+	reg.Help("plbhec_admitted_total", "Service-mode requests admitted for immediate dispatch")
+	reg.Help("plbhec_shed_total", "Service-mode requests rejected by admission control")
+	reg.Help("plbhec_deferred_total", "Service-mode requests parked in the wait queue")
 
 	n := len(puNames)
 	m.submitted = make([]*Counter, n)
@@ -153,6 +157,9 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	m.handleHits = reg.Counter("plbhec_handle_hits_total")
 	m.handleMisses = reg.Counter("plbhec_handle_misses_total")
 	m.handleEvictions = reg.Counter("plbhec_handle_evictions_total")
+	m.admitted = reg.Counter("plbhec_admitted_total")
+	m.shed = reg.Counter("plbhec_shed_total")
+	m.deferred = reg.Counter("plbhec_deferred_total")
 	return m
 }
 
@@ -284,6 +291,18 @@ func (m *RunMetrics) Consume(ev Event) {
 			m.handleHits.Add(ev.Value)
 			m.handleMisses.Add(ev.Aux)
 			m.handleEvictions.Add(float64(ev.Units))
+		}
+	case EvAdmission:
+		// A deferred request emits a second EvAdmission ("admit") when it
+		// is dispatched from the queue, so this counter mirrors the
+		// controller's Admitted() account exactly.
+		switch ev.Name {
+		case "admit":
+			m.admitted.Inc()
+		case "shed":
+			m.shed.Inc()
+		case "defer":
+			m.deferred.Inc()
 		}
 	}
 }

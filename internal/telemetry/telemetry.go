@@ -89,6 +89,11 @@ const (
 	// or "invalidate" (a device death wiped PU's resident set: Value =
 	// handles dropped, Aux = bytes dropped, Units = handles dropped).
 	EvResidency
+	// EvAdmission marks one admission decision on an offered service-mode
+	// request: Time, Name ("admit", "defer", or "shed"), Units (the
+	// request's work units), Value (the owning app's index), PU = -1,
+	// Seq = -1 (the block sequence is not assigned until dispatch).
+	EvAdmission
 )
 
 // String names the kind for sinks and debug output.
@@ -130,6 +135,8 @@ func (k EventKind) String() string {
 		return "overhead"
 	case EvResidency:
 		return "residency"
+	case EvAdmission:
+		return "admission"
 	}
 	return "unknown"
 }

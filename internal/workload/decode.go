@@ -1,0 +1,42 @@
+package workload
+
+// FromBytes decodes an arbitrary byte string into a valid arrival Spec — the
+// always-valid-decoder idiom shared with fault.FromBytes: every input maps
+// to a legal spec (never an error), so a fuzzer explores the space of
+// arrival streams instead of the space of parse failures. The mapping is a
+// pure function of data; combined with Generate's determinism, any crash or
+// invariant violation found by fuzzing reproduces from the corpus bytes
+// alone.
+//
+// Layout (missing bytes read as zero, so any length works):
+//
+//	byte 0      model kind (mod 4)
+//	byte 1      base rate, 0.1–50 req/s
+//	byte 2      burst/peak multiplier, 1–10×
+//	byte 3      MMPP state dwell, 0.05–2 s
+//	byte 4      diurnal period, 0.2–5 s
+//	byte 5      units per request, 1–64
+//	bytes 6..13 stream seed (little-endian, as available)
+func FromBytes(data []byte) Spec {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	kinds := [4]Kind{Poisson, Bursty, Diurnal, Trace}
+	var seed int64
+	for i := 0; i < 8; i++ {
+		seed |= int64(at(6+i)) << (8 * i)
+	}
+	rate := 0.1 + float64(at(1))/255*49.9
+	return Spec{
+		Kind:       kinds[int(at(0))%len(kinds)],
+		Rate:       rate,
+		BurstRate:  rate * (1 + float64(at(2))/255*9),
+		BurstDwell: 0.05 + float64(at(3))/255*1.95,
+		Period:     0.2 + float64(at(4))/255*4.8,
+		Units:      1 + int64(at(5))%64,
+		Seed:       seed,
+	}
+}

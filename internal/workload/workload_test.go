@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestGenerateDeterminism pins the seed contract: the same spec generates
+// the identical schedule every time, and any seed change produces a
+// different stream (for every kind).
+func TestGenerateDeterminism(t *testing.T) {
+	for _, kind := range []Kind{Poisson, Bursty, Diurnal, Trace} {
+		sp := Spec{Kind: kind, Rate: 40, Units: 4, Seed: 17}
+		a := sp.Generate(10)
+		b := sp.Generate(10)
+		if len(a.Arrivals) != len(b.Arrivals) {
+			t.Fatalf("%v: lengths differ: %d vs %d", kind, len(a.Arrivals), len(b.Arrivals))
+		}
+		for i := range a.Arrivals {
+			if a.Arrivals[i] != b.Arrivals[i] {
+				t.Fatalf("%v: arrival %d differs: %+v vs %+v", kind, i, a.Arrivals[i], b.Arrivals[i])
+			}
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%v: generated schedule invalid: %v", kind, err)
+		}
+		if kind == Trace {
+			continue // the stand-in trace is seed-independent by design
+		}
+		sp.Seed = 18
+		c := sp.Generate(10)
+		same := len(c.Arrivals) == len(a.Arrivals)
+		if same {
+			for i := range a.Arrivals {
+				if a.Arrivals[i] != c.Arrivals[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same && len(a.Arrivals) > 0 {
+			t.Fatalf("%v: seed change left the stream identical", kind)
+		}
+	}
+}
+
+// TestPoissonRateScaling is the metamorphic rate test: doubling the rate
+// must roughly double the arrival count. For Poisson(λT) the count is
+// within λT ± 5√(λT) except with negligible probability, so the doubled
+// run must land in the doubled interval.
+func TestPoissonRateScaling(t *testing.T) {
+	const horizon = 50.0
+	for _, rate := range []float64{10, 40, 160} {
+		base := Spec{Kind: Poisson, Rate: rate, Seed: 3}.Generate(horizon)
+		twice := Spec{Kind: Poisson, Rate: 2 * rate, Seed: 4}.Generate(horizon)
+		for _, c := range []struct {
+			n    int
+			want float64
+		}{{len(base.Arrivals), rate * horizon}, {len(twice.Arrivals), 2 * rate * horizon}} {
+			slack := 5 * math.Sqrt(c.want)
+			if math.Abs(float64(c.n)-c.want) > slack {
+				t.Fatalf("rate %.0f: %d arrivals, want %.0f ± %.0f", rate, c.n, c.want, slack)
+			}
+		}
+		ratio := float64(len(twice.Arrivals)) / float64(len(base.Arrivals))
+		if ratio < 1.6 || ratio > 2.4 {
+			t.Fatalf("rate %.0f: doubling the rate scaled arrivals by %.2f, want ~2", rate, ratio)
+		}
+	}
+}
+
+// ksStatistic is the two-sample Kolmogorov-Smirnov statistic over two
+// sorted samples.
+func ksStatistic(a, b []float64) float64 {
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+func times(s Schedule) []float64 {
+	out := make([]float64, len(s.Arrivals))
+	for i, a := range s.Arrivals {
+		out[i] = a.Time
+	}
+	return out
+}
+
+// TestMergePoissonEquivalence checks the superposition property: merging
+// two independent Poisson streams is distributed like one stream at the
+// summed rate. A two-sample KS test on the arrival-time samples must not
+// reject at α = 0.001 (critical value 1.95·√((n+m)/nm)).
+func TestMergePoissonEquivalence(t *testing.T) {
+	const horizon = 200.0
+	a := Spec{Kind: Poisson, Rate: 8, Seed: 101}.Generate(horizon)
+	b := Spec{Kind: Poisson, Rate: 12, Seed: 202}.Generate(horizon)
+	merged := Merge(a, b)
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged schedule invalid: %v", err)
+	}
+	if len(merged.Arrivals) != len(a.Arrivals)+len(b.Arrivals) {
+		t.Fatalf("merge dropped arrivals: %d+%d -> %d", len(a.Arrivals), len(b.Arrivals), len(merged.Arrivals))
+	}
+	summed := Spec{Kind: Poisson, Rate: 20, Seed: 303}.Generate(horizon)
+
+	x, y := times(merged), times(summed)
+	sort.Float64s(x)
+	sort.Float64s(y)
+	d := ksStatistic(x, y)
+	n, m := float64(len(x)), float64(len(y))
+	crit := 1.95 * math.Sqrt((n+m)/(n*m))
+	if d > crit {
+		t.Fatalf("KS statistic %.4f exceeds %.4f: merged(8)+Poisson(12) does not look like Poisson(20) (n=%d m=%d)", d, crit, len(x), len(y))
+	}
+}
+
+// TestDiurnalWraparound pins the periodic rate profile: RateAt repeats
+// exactly every Period, never dips below zero, and per-period arrival
+// counts agree with the integrated rate (= Rate·Period each period).
+func TestDiurnalWraparound(t *testing.T) {
+	sp := Spec{Kind: Diurnal, Rate: 50, Period: 4, Seed: 7}.Normalized()
+	for _, tt := range []float64{0, 0.3, 1.9, 2.5, 3.999} {
+		r0 := sp.RateAt(tt)
+		for k := 1; k <= 3; k++ {
+			rk := sp.RateAt(tt + float64(k)*sp.Period)
+			if math.Abs(rk-r0) > 1e-9*(1+r0) {
+				t.Fatalf("RateAt(%.3f + %d·P) = %g, want %g", tt, k, rk, r0)
+			}
+		}
+		if r0 < 0 {
+			t.Fatalf("RateAt(%.3f) = %g < 0", tt, r0)
+		}
+	}
+
+	const periods = 25
+	s := sp.Generate(periods * sp.Period)
+	counts := make([]float64, periods)
+	for _, a := range s.Arrivals {
+		counts[int(a.Time/sp.Period)]++
+	}
+	// The raised cosine integrates to the midpoint of trough and peak:
+	// (Rate + BurstRate)/2 per second, = 2·Rate with the default 3× peak.
+	want := 0.5 * (sp.Rate + sp.BurstRate) * sp.Period
+	for i, c := range counts {
+		if math.Abs(c-want) > 5*math.Sqrt(want) {
+			t.Fatalf("period %d saw %g arrivals, want %.0f ± %.0f", i, c, want, 5*math.Sqrt(want))
+		}
+	}
+}
+
+// TestBurstyOverdispersion separates the MMPP from plain Poisson: its
+// windowed counts must be overdispersed (index of dispersion well above 1)
+// where the Poisson stream sits near 1.
+func TestBurstyOverdispersion(t *testing.T) {
+	const horizon, win = 400.0, 1.0
+	dispersion := func(s Schedule) float64 {
+		n := int(horizon / win)
+		counts := make([]float64, n)
+		for _, a := range s.Arrivals {
+			if i := int(a.Time / win); i < n {
+				counts[i]++
+			}
+		}
+		var mean float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(n)
+		var v float64
+		for _, c := range counts {
+			v += (c - mean) * (c - mean)
+		}
+		v /= float64(n - 1)
+		return v / mean
+	}
+	bursty := dispersion(Spec{Kind: Bursty, Rate: 20, BurstDwell: 2, Seed: 5}.Generate(horizon))
+	poisson := dispersion(Spec{Kind: Poisson, Rate: 20, Seed: 5}.Generate(horizon))
+	if bursty < 2 {
+		t.Fatalf("bursty index of dispersion %.2f, want > 2 (not bursty at all)", bursty)
+	}
+	if poisson > 1.5 {
+		t.Fatalf("poisson index of dispersion %.2f, want ≈ 1", poisson)
+	}
+}
+
+// TestTraceReplay pins trace handling: unsorted input replays sorted and
+// clamped to the horizon, and an empty trace falls back to the
+// evenly-spaced stand-in at the spec rate.
+func TestTraceReplay(t *testing.T) {
+	sp := Spec{Kind: Trace, Rate: 10, Trace: []Arrival{
+		{Time: 3, Units: 2}, {Time: 1, Units: 1}, {Time: 99, Units: 1}, {Time: 2, Units: 3},
+	}}
+	s := sp.Generate(5)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("replayed trace invalid: %v", err)
+	}
+	if len(s.Arrivals) != 3 {
+		t.Fatalf("got %d arrivals, want 3 (the t=99 point is past the horizon)", len(s.Arrivals))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if s.Arrivals[i].Time != want {
+			t.Fatalf("arrival %d at %g, want %g", i, s.Arrivals[i].Time, want)
+		}
+	}
+
+	standIn := Spec{Kind: Trace, Rate: 10}.Generate(2)
+	if err := standIn.Validate(); err != nil {
+		t.Fatalf("stand-in invalid: %v", err)
+	}
+	if n := len(standIn.Arrivals); n != 20 {
+		t.Fatalf("stand-in generated %d arrivals, want 20 (rate 10 × 2s)", n)
+	}
+}
+
+// TestScheduleValidate exercises the rejection paths.
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Horizon: 1, Arrivals: []Arrival{{Time: math.NaN(), Units: 1}}},
+		{Horizon: 1, Arrivals: []Arrival{{Time: -0.1, Units: 1}}},
+		{Horizon: 1, Arrivals: []Arrival{{Time: 2, Units: 1}}},
+		{Horizon: 1, Arrivals: []Arrival{{Time: 0.5, Units: 0}}},
+		{Horizon: 1, Arrivals: []Arrival{{Time: 0.6, Units: 1}, {Time: 0.5, Units: 1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid schedule accepted: %+v", i, s)
+		}
+	}
+	ok := Schedule{Horizon: 1, Arrivals: []Arrival{{Time: 0.25, Units: 1}, {Time: 0.25, Units: 2}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("tied arrival times rejected: %v", err)
+	}
+}
+
+// TestNormalizedDefaults pins the documented defaults.
+func TestNormalizedDefaults(t *testing.T) {
+	sp := Spec{}.Normalized()
+	if sp.Kind != Poisson || sp.Rate != 1 || sp.Units != 1 {
+		t.Fatalf("zero spec normalized to %+v", sp)
+	}
+	sp = Spec{Kind: Kind("garbage"), Rate: math.Inf(1), Units: -3}.Normalized()
+	if sp.Kind != Poisson || !(sp.Rate > 0) || math.IsInf(sp.Rate, 0) || sp.Units != 1 {
+		t.Fatalf("garbage spec normalized to %+v", sp)
+	}
+}
