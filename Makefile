@@ -2,13 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json repro quick examples clean
+.PHONY: all build test race bench bench-json repro quick examples lint clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Uses staticcheck when it is on PATH (CI
+# installs a pinned version); falls back to go vet so the target works
+# offline without fetching anything.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; running go vet only"; \
+		$(GO) vet ./...; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -12,6 +12,8 @@
 //	plbsim -app mm -sched plb-hec -perfetto out.json   # ui.perfetto.dev trace
 //	plbsim -app mm -sched plb-hec -listen :9090        # live /metrics endpoint
 //	plbsim -app mm -size 65536 -cpuprofile cpu.pprof   # profile the run
+//	plbsim -app mm -sched plb-hec -health              # heartbeat failure detection
+//	plbsim -app mm -health -detector deadline -heartbeat 0.02
 //
 // Open-system service mode (docs/SERVICE.md) — requests arrive on a seeded
 // stream instead of a fixed input drained to a makespan:
@@ -66,6 +68,11 @@ func run() int {
 		explain  = flag.Bool("explain", false, "record causal spans and print the run's critical-path attribution (blame vector, latency percentiles, critical chains)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 
+		healthOn  = flag.Bool("health", false, "enable heartbeat failure detection: workers heartbeat, a detector raises suspicions, requeued blocks are fenced against late completions (docs/FAULTS.md)")
+		heartbeat = flag.Float64("heartbeat", 0, "health mode: heartbeat period in seconds (0: the 50 ms default)")
+		detector  = flag.String("detector", "phi", "health mode: failure detector, phi | deadline")
+		phi       = flag.Float64("phi", 0, "health mode: phi-accrual suspicion threshold (0: the default 8)")
+
 		arrivals = flag.String("arrivals", "", "open-system service mode: arrival process poisson | bursty | diurnal (docs/SERVICE.md)")
 		rate     = flag.Float64("rate", 50, "service mode: mean arrival rate, requests/s")
 		reqUnits = flag.Int64("req-units", 64, "service mode: work units per request")
@@ -94,6 +101,21 @@ func run() int {
 	cfg := starpu.SimConfig{}
 	if *locality {
 		cfg.Locality = starpu.DefaultLocalityPolicy()
+	}
+	if *healthOn {
+		if *detector != "phi" && *detector != "deadline" {
+			fmt.Fprintf(os.Stderr, "plbsim: -detector %q: want phi or deadline\n", *detector)
+			return 2
+		}
+		if *arrivals != "" {
+			fmt.Fprintln(os.Stderr, "plbsim: -health does not compose with service mode (-arrivals)")
+			return 2
+		}
+		cfg.Health = &starpu.HealthPolicy{
+			HeartbeatSeconds: *heartbeat,
+			Detector:         *detector,
+			PhiThreshold:     *phi,
+		}
 	}
 	if *arrivals != "" {
 		return runServiceMode(kind, *size, *machines, *seed, *dual,
@@ -180,6 +202,30 @@ func run() int {
 	}
 	if len(rep.SchedulerStats) > 0 {
 		fmt.Printf("\nscheduler stats: %v\n", rep.SchedulerStats)
+	}
+	if *healthOn {
+		var sus, fal, rej, fen int64
+		var det float64
+		for _, u := range rep.Resilience {
+			sus += u.Suspicions
+			fal += u.FalseSuspects
+			rej += u.Rejoins
+			fen += u.FencedCompletions
+			det += u.DetectionSeconds
+		}
+		fmt.Printf("\nfailure detection (%s): suspicions %d  false %d  rejoins %d  fenced %d",
+			*detector, sus, fal, rej, fen)
+		if tp := sus - fal; tp > 0 {
+			fmt.Printf("  mean detection %.4fs", det/float64(tp))
+		}
+		fmt.Println()
+		for i, u := range rep.Resilience {
+			if u.Suspicions+u.Rejoins+u.FencedCompletions+u.BlacklistLifts == 0 {
+				continue
+			}
+			fmt.Printf("  %-20s suspicions %d (false %d)  rejoins %d  fenced %d  blacklist lifts %d\n",
+				rep.PUNames[i], u.Suspicions, u.FalseSuspects, u.Rejoins, u.FencedCompletions, u.BlacklistLifts)
+		}
 	}
 	if loc := rep.Locality; loc != nil {
 		base := loc.BaselineBytes()

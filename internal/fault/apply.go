@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"math"
+
 	"plbhec/internal/cluster"
 	"plbhec/internal/starpu"
 )
@@ -208,6 +210,18 @@ func (a *applier) install(f FaultSpec) error {
 			st.lat[slot] = 0
 			a.recomputeLink(mi, kind)
 		})
+	case Partition:
+		pu, until := f.PU, math.Inf(1)
+		if f.Duration > 0 {
+			until = f.At + f.Duration
+		}
+		return at(f.At, func() { a.sess.InjectPartition(pu, until) })
+	case HeartbeatLoss:
+		pu, until := f.PU, math.Inf(1)
+		if f.Duration > 0 {
+			until = f.At + f.Duration
+		}
+		return at(f.At, func() { a.sess.InjectHeartbeatLoss(pu, until) })
 	}
 	return nil
 }

@@ -28,7 +28,7 @@ func FromBytes(data []byte, nPU, nMachines int, horizon float64) Schedule {
 		b := data[:bytesPerSpec]
 		data = data[bytesPerSpec:]
 		f := FaultSpec{
-			Kind:    Kind(b[0] % 6),
+			Kind:    Kind(b[0] % 8),
 			PU:      int(b[1]) % nPU,
 			Machine: int(b[1]) % nMachines,
 			Link:    LinkKind(b[6] % 2),
@@ -58,7 +58,7 @@ func Rand(rng *stats.RNG, nPU, nMachines int, horizon float64, n int) Schedule {
 	}
 	for i := 0; i < n; i++ {
 		f := FaultSpec{
-			Kind:     Kind(rng.Intn(6)),
+			Kind:     Kind(rng.Intn(8)),
 			PU:       rng.Intn(nPU),
 			Machine:  rng.Intn(nMachines),
 			Link:     LinkKind(rng.Intn(2)),

@@ -45,6 +45,16 @@ const (
 	// LatencySpike adds Severity seconds to the target link's per-transfer
 	// latency, for Duration seconds (Duration 0: permanently).
 	LatencySpike
+	// Partition cuts the target unit off from the master for Duration
+	// seconds (Duration 0: permanently): its heartbeats stop arriving and
+	// its completions are held at the partition boundary, delivered — and,
+	// when the block was reassigned meanwhile, fenced — only after the
+	// partition heals. The device itself keeps computing.
+	Partition
+	// HeartbeatLoss suppresses the target unit's heartbeats for Duration
+	// seconds (Duration 0: permanently) while completions still flow — the
+	// pure false-positive stimulus for a failure detector.
+	HeartbeatLoss
 )
 
 // String names the kind.
@@ -62,6 +72,10 @@ func (k Kind) String() string {
 		return "link-slow"
 	case LatencySpike:
 		return "latency-spike"
+	case Partition:
+		return "partition"
+	case HeartbeatLoss:
+		return "heartbeat-loss"
 	}
 	return "unknown"
 }
@@ -89,9 +103,9 @@ func (l LinkKind) String() string {
 const rampSteps = 4
 
 // FaultSpec is one declarative fault. Device faults (DeviceDeath, Degrade,
-// BrownOut, Straggler) target PU, the flat cluster index; link faults
-// (LinkSlow, LatencySpike) target (Machine, Link). Unused fields are
-// ignored by Validate.
+// BrownOut, Straggler, Partition, HeartbeatLoss) target PU, the flat
+// cluster index; link faults (LinkSlow, LatencySpike) target
+// (Machine, Link). Unused fields are ignored by Validate.
 type FaultSpec struct {
 	// At is the trigger time in engine seconds.
 	At   float64
@@ -193,6 +207,11 @@ func (f FaultSpec) validate(i, nPU, nMachines int) error {
 		}
 		if math.IsNaN(f.Severity) || f.Severity < 0 || f.Severity > 10 {
 			return bad("added latency %v out of [0, 10] seconds", f.Severity)
+		}
+		return duration(false)
+	case Partition, HeartbeatLoss:
+		if err := targetPU(); err != nil {
+			return err
 		}
 		return duration(false)
 	}

@@ -1,0 +1,92 @@
+package health
+
+import "testing"
+
+// TestLeaseFencing: a re-grant must fence the old copy while admitting the
+// new one exactly once — the exactly-once core of false-suspicion recovery.
+func TestLeaseFencing(t *testing.T) {
+	lt := NewLeaseTable()
+	tok1 := lt.Grant(7, 2, 0, 64, 0)
+	if tok1 == 0 {
+		t.Fatal("grant returned the zero token")
+	}
+	tok2 := lt.Grant(7, 3, 0, 64, 1)
+	if tok2 <= tok1 {
+		t.Fatalf("tokens not monotone: %d then %d", tok1, tok2)
+	}
+	if lt.Admit(7, 2, tok1) {
+		t.Fatal("stale copy admitted after re-grant")
+	}
+	if !lt.Admit(7, 3, tok2) {
+		t.Fatal("legitimate copy rejected")
+	}
+	if lt.Admit(7, 3, tok2) {
+		t.Fatal("block admitted twice")
+	}
+	if lt.Len() != 0 {
+		t.Fatalf("lease not settled: %d outstanding", lt.Len())
+	}
+}
+
+// TestLeaseSpecSlot: either slot admits, the first admission settles the
+// block, and promotion preserves the backup copy's token.
+func TestLeaseSpecSlot(t *testing.T) {
+	lt := NewLeaseTable()
+	pt := lt.Grant(1, 0, 0, 32, 0)
+	st := lt.GrantSpec(1, 4)
+	if st == 0 || st <= pt {
+		t.Fatalf("spec token %d not issued after primary %d", st, pt)
+	}
+	if got := lt.TokenFor(1, 4); got != st {
+		t.Fatalf("TokenFor spec owner = %d, want %d", got, st)
+	}
+	// Backup wins the race.
+	if !lt.Admit(1, 4, st) {
+		t.Fatal("spec slot rejected")
+	}
+	if lt.Admit(1, 0, pt) {
+		t.Fatal("primary admitted after the block settled")
+	}
+
+	// Promotion path: primary suspected, backup becomes the owner.
+	pt = lt.Grant(2, 0, 32, 64, 0)
+	st = lt.GrantSpec(2, 4)
+	if !lt.Promote(2) {
+		t.Fatal("promote with a spec slot failed")
+	}
+	if lt.Admit(2, 0, pt) {
+		t.Fatal("fenced old primary admitted after promotion")
+	}
+	if !lt.Admit(2, 4, st) {
+		t.Fatal("promoted copy rejected under its original token")
+	}
+	if lt.Promote(99) {
+		t.Fatal("promote of an unleased seq succeeded")
+	}
+}
+
+// TestLeaseHoldings: per-owner enumeration is complete and sorted.
+func TestLeaseHoldings(t *testing.T) {
+	lt := NewLeaseTable()
+	lt.Grant(5, 1, 0, 1, 0)
+	lt.Grant(3, 1, 1, 2, 0)
+	lt.Grant(9, 2, 2, 3, 0)
+	lt.GrantSpec(9, 1)
+	prim, spec := lt.Holdings(1)
+	if len(prim) != 2 || prim[0] != 3 || prim[1] != 5 {
+		t.Fatalf("primary holdings = %v, want [3 5]", prim)
+	}
+	if len(spec) != 1 || spec[0] != 9 {
+		t.Fatalf("spec holdings = %v, want [9]", spec)
+	}
+	lt.ClearSpec(9)
+	if _, spec = lt.Holdings(1); len(spec) != 0 {
+		t.Fatalf("spec slot survived ClearSpec: %v", spec)
+	}
+	if lt.GrantSpec(42, 1) != 0 {
+		t.Fatal("GrantSpec on an unleased block issued a token")
+	}
+	if lt.Admit(3, 1, 0) {
+		t.Fatal("zero token admitted")
+	}
+}

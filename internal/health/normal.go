@@ -1,0 +1,71 @@
+package health
+
+import "math"
+
+// tailProb is the upper tail P(X > z) of the standard normal distribution,
+// computed from erfc so it stays accurate far into the tail (erfc underflows
+// around z ≈ 38, far beyond any phi threshold in use).
+func tailProb(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// invNormTail returns the z with P(X > z) = p for a standard normal, i.e.
+// the inverse of tailProb. It uses Acklam's rational approximation (relative
+// error < 1.15e-9 over the full range), which is plenty for scheduling
+// suspicion deadlines: the detector only needs a deterministic, monotone
+// inverse, not a certified one.
+func invNormTail(p float64) float64 {
+	if !(p > 0) {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return math.Inf(-1)
+	}
+	// Acklam computes the lower-quantile z(q) with P(X < z) = q; the upper
+	// tail is its mirror image.
+	q := 1 - p
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		plow  = 0.02425
+		phigh = 1 - plow
+	)
+	switch {
+	case q < plow:
+		u := math.Sqrt(-2 * math.Log(q))
+		return (((((c1*u+c2)*u+c3)*u+c4)*u+c5)*u + c6) /
+			((((d1*u+d2)*u+d3)*u+d4)*u + 1)
+	case q <= phigh:
+		u := q - 0.5
+		r := u * u
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * u /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		u := math.Sqrt(-2 * math.Log(1-q))
+		return -(((((c1*u+c2)*u+c3)*u+c4)*u+c5)*u + c6) /
+			((((d1*u+d2)*u+d3)*u+d4)*u + 1)
+	}
+}

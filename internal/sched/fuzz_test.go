@@ -125,12 +125,23 @@ func TestSchedulerInvariantsFuzz(t *testing.T) {
 // even then the partial record stream must stay at-most-once.
 func FuzzFaultSchedule(f *testing.F) {
 	// Corpus: each of the four schedulers, with fault bytes touching every
-	// kind (byte 1 of each 7-byte group selects the Kind modulo 6).
+	// kind (byte 1 of each 7-byte group selects the Kind modulo 8). Byte 0
+	// values >= 128 run with a HealthPolicy attached, so the detector,
+	// lease-fencing, and rejoin paths face arbitrary schedules too.
 	f.Add([]byte{0})
 	f.Add([]byte{1, 0, 1, 10, 100, 20, 5, 0})
 	f.Add([]byte{2, 1, 2, 64, 200, 40, 0, 1, 4, 3, 128, 10, 80, 30, 1})
 	f.Add([]byte{3, 2, 0, 32, 255, 255, 255, 0, 5, 1, 16, 3, 3, 3, 1})
 	f.Add([]byte{0, 3, 3, 5, 5, 5, 5, 5, 1, 0, 200, 128, 64, 32, 0})
+	// Partition (kind 6) and heartbeat loss (kind 7), without a detector:
+	// completions held at a partition boundary must still land exactly once.
+	f.Add([]byte{3, 6, 1, 80, 100, 40, 0, 0})
+	f.Add([]byte{0, 7, 2, 60, 120, 50, 10, 1})
+	// The same stimuli against the phi-accrual detector: false suspicions,
+	// fenced late completions, and rejoins under arbitrary composition.
+	f.Add([]byte{131, 6, 1, 80, 100, 40, 0, 0})
+	f.Add([]byte{128, 7, 2, 60, 120, 50, 10, 1})
+	f.Add([]byte{130, 6, 3, 40, 90, 30, 0, 0, 0, 0, 128, 255, 0, 0, 0, 7, 1, 70, 64, 64, 0, 1})
 	mks := []func() starpu.Scheduler{
 		func() starpu.Scheduler { return NewGreedy(Config{InitialBlockSize: 16}) },
 		func() starpu.Scheduler { return NewHDSS(Config{InitialBlockSize: 16}) },
@@ -143,13 +154,18 @@ func FuzzFaultSchedule(f *testing.F) {
 		}
 		const n = 4096
 		mk := mks[int(data[0])%len(mks)]
+		var health *starpu.HealthPolicy
+		if data[0] >= 128 {
+			health = starpu.DefaultHealthPolicy()
+		}
 		schedule := fault.FromBytes(data[1:], 4, 2, 0.5)
 		clu := cluster.TableI(cluster.Config{
 			Machines: 2, Seed: 1, NoiseSigma: cluster.DefaultNoiseSigma,
 		})
 		app := apps.NewMatMul(apps.MatMulConfig{N: n})
 		sess := starpu.NewSimSession(clu, app, starpu.SimConfig{
-			Retry: starpu.DefaultRetryPolicy(),
+			Retry:  starpu.DefaultRetryPolicy(),
+			Health: health,
 		})
 		if err := schedule.Apply(sess, clu); err != nil {
 			t.Fatalf("decoded schedule rejected: %v\nschedule: %v", err, schedule)

@@ -64,6 +64,15 @@ type liveEngine struct {
 	// stray counts losing copies of already-delivered blocks still running
 	// on workers; drive drains their completions before closing channels.
 	stray int
+	// heartbeats carries worker heartbeat ticks into the driving goroutine
+	// (health mode only; nil otherwise, so its select case never fires).
+	heartbeats chan int
+	// hbStop, when closed, releases every heartbeat goroutine.
+	hbStop chan struct{}
+	// fencePending counts revoked stale copies still queued or running on
+	// workers: real kernels cannot be interrupted, so drive drains their
+	// (fenced) completions before closing channels, exactly like strays.
+	fencePending int
 }
 
 // liveWatch is the watchdog state of one in-flight block.
@@ -86,6 +95,10 @@ type liveAssign struct {
 	submit  float64
 	retries int
 	app     int32 // owning app index (service mode; 0 otherwise)
+	// token is the copy's fencing token (health mode; 0 otherwise), stamped
+	// at submission and echoed back in the completion so a copy whose lease
+	// moved while it ran is discarded deterministically.
+	token uint64
 }
 
 // liveDone is one worker's completion report: the finished record, or — when
@@ -95,6 +108,7 @@ type liveDone struct {
 	rec     TaskRecord
 	failed  bool
 	retries int
+	token   uint64 // the copy's fencing token, echoed from its liveAssign
 }
 
 // LiveConfig configures a live session.
@@ -130,6 +144,14 @@ type LiveConfig struct {
 	// residency purposes (work unit u reads datum u mod DataUnits). <= 0
 	// means TotalUnits — every unit its own datum.
 	DataUnits int64
+	// Health, when non-nil, enables heartbeat failure detection: workers
+	// emit periodic heartbeats from ticker goroutines, a failure detector
+	// (phi-accrual or deadline) suspects units whose heartbeats stop, and a
+	// suspect's blocks are reassigned under fencing leases — a late result
+	// from a falsely-suspected unit is discarded deterministically,
+	// preserving exactly-once delivery. Implies Retry (DefaultRetryPolicy
+	// when none is set). Nil preserves the legacy behavior exactly.
+	Health *HealthPolicy
 }
 
 // NewLiveSession builds a session that runs kernel on real goroutine
@@ -159,6 +181,7 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		retry:   cfg.Retry.normalized(),
 		spec:    cfg.Spec.normalized(),
 		loc:     cfg.Locality.normalized(),
+		health:  cfg.Health.normalized(),
 	}
 	s.initCommon(cfg.TotalUnits)
 	s.memCap = make([]float64, len(s.pus)) // host workers: unlimited memory
@@ -187,6 +210,13 @@ func NewLiveSession(kernel LiveKernel, cfg LiveConfig) *Session {
 		go le.workerLoop(i, ch)
 	}
 	s.eng = le
+	if s.health != nil {
+		le.heartbeats = make(chan int, 4*len(cfg.Workers))
+		le.hbStop = make(chan struct{})
+		for i := range cfg.Workers {
+			go le.heartbeatLoop(i)
+		}
+	}
 	return s
 }
 
@@ -259,6 +289,7 @@ func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest floa
 	}
 	e.workers[pu.ID] <- liveAssign{
 		seq: seq, lo: lo, hi: hi, submit: submit, retries: retries, app: e.appOf(seq),
+		token: e.session.leaseTokenFor(pu.ID, seq),
 	}
 }
 
@@ -268,6 +299,38 @@ func (e *liveEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest floa
 // they are reached.
 func (e *liveEngine) abortInFlight(pu int) {}
 
+// dropInFlight implements engine. Same physical constraint as
+// abortInFlight: a failed worker's copies surface on their own — queued
+// blocks bounce at pickup, an executing kernel still completes — and their
+// accounts settle where they surface (handleDone), so there is nothing to
+// destroy eagerly here.
+func (e *liveEngine) dropInFlight(pu int) {}
+
+// revokeCopies implements engine. The lease pu held on seq moved, so pu's
+// copy — queued, executing, or a bounce in transit — is now stale: its
+// per-unit in-flight account settles here, and its eventual surfacing is
+// fenced (success) or absorbed (bounce) without further settlement, with
+// fencePending keeping the drain loop alive until it does. A copy the
+// bounce path already destroyed left a lost record and counts zero.
+func (e *liveEngine) revokeCopies(pu, seq int) int {
+	s := e.session
+	if _, ok := s.lost[pu][seq]; ok {
+		return 0
+	}
+	e.fencePending++
+	s.inflightPU[pu]--
+	if w := e.watch[seq]; w != nil {
+		w.copies--
+		if w.specPU == pu {
+			w.specPU = -2
+		}
+		if w.copies == 0 {
+			delete(e.watch, seq)
+		}
+	}
+	return 1
+}
+
 // relaunchAfter implements engine. Backoff is not modeled in wall-clock
 // time (sleeping the driving goroutine would also stall every healthy
 // completion); the block is resubmitted immediately. The send must not
@@ -275,7 +338,10 @@ func (e *liveEngine) abortInFlight(pu int) {}
 // the handoff while completions keep draining.
 func (e *liveEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int) {
 	e.session.fetchBytes(pu.ID, seq, lo, hi)
-	a := liveAssign{seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries, app: e.appOf(seq)}
+	a := liveAssign{
+		seq: seq, lo: lo, hi: hi, submit: e.now(), retries: retries, app: e.appOf(seq),
+		token: e.session.leaseTokenFor(pu.ID, seq),
+	}
 	select {
 	case e.workers[pu.ID] <- a:
 	default:
@@ -287,8 +353,8 @@ func (e *liveEngine) drive() error {
 	if e.session.svc != nil {
 		return e.driveService()
 	}
-	if e.session.spec != nil {
-		return e.driveSpec()
+	if e.session.spec != nil || e.session.leases != nil {
+		return e.driveTimers()
 	}
 	for e.session.inflight > 0 {
 		e.handleLegacyDone(<-e.complete)
@@ -372,35 +438,141 @@ func (e *liveEngine) driveService() error {
 	return nil
 }
 
-// driveSpec is the completion loop with tail tolerance: between
-// completions it sleeps only until the earliest armed watchdog deadline,
-// launching backup copies for blocks that outlive it.
-func (e *liveEngine) driveSpec() error {
-	for e.session.inflight > 0 {
-		dl, armed := e.nextDeadline()
-		if !armed {
-			e.handleDone(<-e.complete)
-			continue
-		}
-		timer := time.NewTimer(time.Duration((dl - e.now()) * float64(time.Second)))
-		select {
-		case d := <-e.complete:
-			timer.Stop()
-			e.handleDone(d)
-		case <-timer.C:
-			e.fireWatchdogs()
+// driveTimers is the completion loop with deadline machinery — watchdog
+// deadlines (speculation), suspicion crossings (health), or both — woken by
+// a single reusable timer armed at the earliest pending deadline. The timer
+// is allocated once and Reset between waits (the old per-iteration
+// time.NewTimer churned an allocation plus a runtime timer on every
+// completion); deadlines already in the past fire inline without arming it
+// at all.
+func (e *liveEngine) driveTimers() error {
+	s := e.session
+	var timer *time.Timer
+	stopTimer := func() {
+		// Reset requires a stopped, drained timer: if Stop reports the timer
+		// already fired, clear the stale tick so the next wait cannot
+		// consume it early.
+		if timer != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
 		}
 	}
-	// Losing copies of delivered blocks are real kernels that cannot be
-	// interrupted; drain their completions so no worker is left blocked on
-	// the channel after the run.
-	for e.stray > 0 {
-		e.handleDone(<-e.complete)
+	for s.inflight > 0 {
+		dl, armed := e.nextTimerDeadline()
+		if !armed {
+			select {
+			case d := <-e.complete:
+				e.handleDone(d)
+			case id := <-e.heartbeats:
+				e.acceptHeartbeat(id)
+			}
+			continue
+		}
+		wait := time.Duration((dl - e.now()) * float64(time.Second))
+		if wait <= 0 {
+			e.fireTimers()
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
+		select {
+		case d := <-e.complete:
+			stopTimer()
+			e.handleDone(d)
+		case id := <-e.heartbeats:
+			stopTimer()
+			e.acceptHeartbeat(id)
+		case <-timer.C:
+			e.fireTimers()
+		}
+	}
+	stopTimer()
+	// Losing copies of delivered blocks and fenced copies of reassigned ones
+	// are real kernels that cannot be interrupted; drain their completions
+	// (discarding heartbeats) so no worker is left blocked on the channel
+	// after the run.
+	for e.stray+e.fencePending > 0 {
+		select {
+		case d := <-e.complete:
+			e.handleDone(d)
+		case <-e.heartbeats:
+		}
+	}
+	if e.hbStop != nil {
+		close(e.hbStop)
 	}
 	for _, ch := range e.workers {
 		close(ch)
 	}
 	return nil
+}
+
+// nextTimerDeadline returns the earliest pending deadline across the armed
+// machinery: watchdog expirations and suspicion crossings.
+func (e *liveEngine) nextTimerDeadline() (float64, bool) {
+	dl, armed := 0.0, false
+	if e.session.spec != nil {
+		dl, armed = e.nextDeadline()
+	}
+	if e.session.leases != nil {
+		if at, ok := e.session.healthSuspectDeadline(); ok && (!armed || at < dl) {
+			dl, armed = at, true
+		}
+	}
+	return dl, armed
+}
+
+// fireTimers services every deadline machine whose moment may have come;
+// each re-checks its own deadlines against the clock, so a wakeup meant for
+// one is harmless to the other.
+func (e *liveEngine) fireTimers() {
+	if e.session.spec != nil {
+		e.fireWatchdogs()
+	}
+	if e.session.leases != nil {
+		e.session.fireSuspicions(e.now())
+	}
+}
+
+// acceptHeartbeat feeds one worker heartbeat into the failure detector.
+// Beats from failed or partitioned units are dropped here, on the driving
+// goroutine — the ticker goroutines touch no session state, they only tick.
+func (e *liveEngine) acceptHeartbeat(id int) {
+	s := e.session
+	if !s.healthActive() {
+		return
+	}
+	now := e.now()
+	if !s.pus[id].Dev.Failed() && !s.heartbeatSuppressed(id, now) {
+		s.noteHeartbeat(id, now)
+	}
+}
+
+// heartbeatLoop is one worker's heartbeat ticker: it ticks at the policy
+// period until hbStop closes, handing each tick to the driving goroutine.
+// It deliberately reads no session state (the driving goroutine filters
+// dead and partitioned units), so it needs no synchronization beyond the
+// channels themselves.
+func (e *liveEngine) heartbeatLoop(id int) {
+	t := time.NewTicker(time.Duration(e.session.health.HeartbeatSeconds * float64(time.Second)))
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			select {
+			case e.heartbeats <- id:
+			case <-e.hbStop:
+				return
+			}
+		case <-e.hbStop:
+			return
+		}
+	}
 }
 
 // nextDeadline returns the earliest armed, unexpired watchdog deadline.
@@ -450,7 +622,10 @@ func (e *liveEngine) fireWatchdogs() {
 				PU: target, Seq: seq, Units: w.hi - w.lo,
 			})
 		}
-		a := liveAssign{seq: seq, lo: w.lo, hi: w.hi, submit: e.now(), retries: w.retries}
+		a := liveAssign{
+			seq: seq, lo: w.lo, hi: w.hi, submit: e.now(), retries: w.retries,
+			token: s.grantSpecLease(seq, target),
+		}
 		select {
 		case e.workers[target] <- a:
 		default:
@@ -459,32 +634,18 @@ func (e *liveEngine) fireWatchdogs() {
 	}
 }
 
-// handleDone processes one completion report under speculation, resolving
-// first-completion-wins races and falling back to the legacy paths for
-// blocks without watchdog state.
+// handleDone processes one completion report under deadline machinery
+// (speculation, health, or both): stray losers of settled races drain
+// first, then bounces, then fencing admission, then delivery — falling back
+// to the legacy paths for blocks without watchdog state.
 func (e *liveEngine) handleDone(d liveDone) {
 	s := e.session
 	w := e.watch[d.rec.Seq]
-	if w == nil {
-		// No watchdog state: legacy handling verbatim.
-		if d.failed {
-			s.NoteDeviceDown(d.rec.PU)
-			if !s.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
-				s.inflight--
-			}
-			return
-		}
-		rec := d.rec
-		if rec.TransferEnd > rec.TransferStart {
-			e.queueBusy[rec.PU] += s.emitLink(e.queueName[rec.PU],
-				rec.TransferStart, rec.TransferEnd, rec.Units)
-		}
-		s.onComplete(rec)
-		return
-	}
-	if w.done {
+	if w != nil && w.done {
 		// The losing copy of an already-delivered block surfacing: its
-		// result is discarded, only its accounts settle.
+		// result is discarded, only its accounts settle. Spec-race losers
+		// resolve here, before the fencing admission check — losing a race
+		// is not a fence event.
 		e.stray--
 		w.copies--
 		s.inflightPU[d.rec.PU]--
@@ -494,6 +655,18 @@ func (e *liveEngine) handleDone(d liveDone) {
 		return
 	}
 	if d.failed {
+		if s.leases != nil {
+			e.handleFailedLease(d, w)
+			return
+		}
+		if w == nil {
+			// No watchdog state: legacy handling verbatim.
+			s.NoteDeviceDown(d.rec.PU)
+			if !s.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
+				s.inflight--
+			}
+			return
+		}
 		if w.copies > 1 {
 			// One copy bounced off a failed device but its twin is alive:
 			// the twin completes the block, so no requeue. The race is
@@ -511,6 +684,24 @@ func (e *liveEngine) handleDone(d liveDone) {
 		if !s.requeueBlock(d.rec.PU, d.rec.Seq, d.rec.Lo, d.rec.Hi, d.retries) {
 			s.inflight--
 		}
+		return
+	}
+	if s.leases != nil && !s.admitCompletion(d.rec.PU, d.rec.Seq, d.token) {
+		// Fenced: a stale copy of a reassigned block completing after its
+		// lease moved. Its result is discarded — the fresh copy delivers
+		// exactly once — and its accounts were settled at revoke time.
+		e.fencePending--
+		s.noteFenced(d.rec.PU, d.rec.Seq, d.rec.Units)
+		return
+	}
+	if w == nil {
+		// No watchdog state: legacy delivery verbatim.
+		rec := d.rec
+		if rec.TransferEnd > rec.TransferStart {
+			e.queueBusy[rec.PU] += s.emitLink(e.queueName[rec.PU],
+				rec.TransferStart, rec.TransferEnd, rec.Units)
+		}
+		s.onComplete(rec)
 		return
 	}
 	// First completion wins.
@@ -533,6 +724,39 @@ func (e *liveEngine) handleDone(d liveDone) {
 	s.onComplete(rec)
 }
 
+// handleFailedLease absorbs a bounce under a HealthPolicy. A stale copy —
+// its lease already moved — was settled at revoke time and only releases
+// its drain account here. A copy still holding its lease is destroyed and
+// settled now, but the block itself stays parked on the lease until the
+// failure detector suspects the unit (or it recovers and the lost-block
+// recovery path requeues it): the oracle signal at pickup must not
+// shortcut detection latency, exactly as on the sim engine. The one
+// exception is a unit the detector already ruled on — a fresh assignment
+// bounced off an already-suspected unit would otherwise wait for a second
+// suspicion that never comes, so it moves immediately.
+func (e *liveEngine) handleFailedLease(d liveDone, w *liveWatch) {
+	s := e.session
+	s.NoteDeviceDown(d.rec.PU)
+	if !s.copyHoldsLease(d.rec.PU, d.rec.Seq, d.token) {
+		e.fencePending--
+		return
+	}
+	s.inflightPU[d.rec.PU]--
+	s.markLost(d.rec.PU, d.rec.Seq)
+	if w != nil {
+		w.copies--
+		if w.specPU == d.rec.PU {
+			w.specPU = -2
+		}
+		if w.copies == 0 {
+			delete(e.watch, d.rec.Seq)
+		}
+	}
+	if s.suspected[d.rec.PU] {
+		s.reassignLease(d.rec.PU, d.rec.Seq)
+	}
+}
+
 func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 	slow := e.specs[id].Slowdown
 	par := e.specs[id].Parallelism
@@ -546,7 +770,7 @@ func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 			e.complete <- liveDone{
 				rec: TaskRecord{Seq: a.seq, PU: id, Lo: a.lo, Hi: a.hi,
 					Units: a.hi - a.lo, SubmitTime: a.submit},
-				failed: true, retries: a.retries,
+				failed: true, retries: a.retries, token: a.token,
 			}
 			continue
 		}
@@ -565,6 +789,6 @@ func (e *liveEngine) workerLoop(id int, ch chan liveAssign) {
 			Seq: a.seq, PU: id, Lo: a.lo, Hi: a.hi, Units: a.hi - a.lo,
 			SubmitTime: a.submit, TransferStart: a.submit, TransferEnd: t0,
 			ExecStart: t0, ExecEnd: t2,
-		}}
+		}, token: a.token}
 	}
 }

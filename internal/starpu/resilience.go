@@ -23,6 +23,9 @@ func (s *Session) NoteDeviceDown(id int) bool {
 	}
 	s.downSeen[id] = true
 	s.resilience[id].Failovers++
+	if s.physDownAt != nil && s.physDownAt[id] < 0 {
+		s.physDownAt[id] = s.eng.now()
+	}
 	// The device's memory contents die with it: wipe its resident set so
 	// future placement decisions re-fetch rather than assume stale handles.
 	s.invalidateResidency(id)
@@ -35,19 +38,26 @@ func (s *Session) NoteDeviceDown(id int) bool {
 }
 
 // noteDeviceUp records a recovery: the unit's current failure episode ends,
-// its consecutive-failure count resets, and any blacklist is lifted (a
-// recovered brown-out restores the unit as a requeue target).
+// its consecutive-failure count resets, and any blacklist is lifted through
+// liftBlacklist — emitting EvBlacklistLift and counting the lift, where the
+// bit used to be cleared silently — restoring the unit as a requeue target.
+// Under a HealthPolicy, blocks whose copies died with the device are
+// requeued immediately: a brown-out shorter than the detector's suspicion
+// latency must not wedge them until the detector catches up.
 func (s *Session) noteDeviceUp(id int) {
 	s.downSeen[id] = false
 	s.consecFails[id] = 0
-	s.blacklist[id] = false
-	s.resilience[id].Blacklisted = false
+	s.liftBlacklist(id, s.eng.now())
 	s.resilience[id].Recoveries++
+	if s.physDownAt != nil {
+		s.physDownAt[id] = -1
+	}
 	if s.tel != nil {
 		s.tel.Emit(telemetry.Event{
 			Kind: telemetry.EvRecovery, Time: s.eng.now(), PU: id, Name: s.pus[id].Name(),
 		})
 	}
+	s.recoverLostBlocks(id)
 }
 
 // DeviceStateChanged tells the runtime that the unit's availability may
@@ -61,7 +71,12 @@ func (s *Session) DeviceStateChanged(id int) {
 	}
 	if s.pus[id].Dev.Failed() {
 		s.NoteDeviceDown(id)
-		if s.retry != nil {
+		if s.leases != nil {
+			// Health mode: the oracle only destroys the dead copies; moving
+			// the blocks is the failure detector's job (or the recovery
+			// path's), so detection latency stays a measurable cost.
+			s.eng.dropInFlight(id)
+		} else if s.retry != nil {
 			s.eng.abortInFlight(id)
 		}
 	} else if s.downSeen[id] {
@@ -100,9 +115,19 @@ func (s *Session) noteFailure(id int) {
 // block never completes, so callers accounting in-flight work must settle
 // it themselves.
 func (s *Session) requeueBlock(fromPU, seq int, lo, hi int64, retries int) bool {
+	return s.requeueBlockSettled(fromPU, seq, lo, hi, retries, true)
+}
+
+// requeueBlockSettled is requeueBlock with explicit control over the
+// per-unit in-flight settlement: suspicion- and recovery-driven
+// reassignments pass settle=false when the engine already settled the copy
+// (device death, abandoned partition), so no decrement happens twice.
+func (s *Session) requeueBlockSettled(fromPU, seq int, lo, hi int64, retries int, settle bool) bool {
 	s.noteFailure(fromPU)
 	s.resilience[fromPU].Requeues++
-	s.inflightPU[fromPU]--
+	if settle {
+		s.inflightPU[fromPU]--
+	}
 	if s.tel != nil {
 		s.tel.Emit(telemetry.Event{
 			Kind: telemetry.EvRequeue, Time: s.eng.now(), PU: fromPU, Seq: seq, Units: hi - lo,
@@ -125,6 +150,9 @@ func (s *Session) requeueBlock(fromPU, seq int, lo, hi int64, retries int) bool 
 		return false
 	}
 	s.inflightPU[target]++
+	if s.leases != nil {
+		s.leases.Grant(seq, target, lo, hi, next)
+	}
 	s.eng.relaunchAfter(s.retry.backoff(next), s.pus[target], seq, lo, hi, next)
 	return true
 }
@@ -143,7 +171,8 @@ func (s *Session) pickRequeueTarget(exclude int, lo, hi int64) int {
 	bestSlow := -1
 	var bestMiss, bestSlowMiss float64
 	for i, pu := range s.pus {
-		if i == exclude || s.blacklist[i] || pu.Dev.Failed() {
+		if i == exclude || s.blacklist[i] || pu.Dev.Failed() ||
+			(s.suspected != nil && s.suspected[i]) {
 			continue
 		}
 		var miss float64

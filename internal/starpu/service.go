@@ -241,6 +241,10 @@ func NewServiceSimSession(clu *cluster.Cluster, pol ServicePolicy, cfg SimConfig
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Health != nil {
+		return nil, runtimeError("service mode does not compose with HealthPolicy " +
+			"(the open-system drive loop has no fencing admission on its delivery path)")
+	}
 	cfg.EnforceMemory = false
 	s := newSimSession(clu, np.Apps[0].Profile, "service", 0, 0, cfg)
 	if err := s.initService(np); err != nil {
@@ -266,6 +270,10 @@ func NewServiceLiveSession(kernels []LiveKernel, cfg LiveConfig, pol ServicePoli
 	}
 	if cfg.Spec != nil {
 		return nil, runtimeError("service live session does not support SpeculationPolicy")
+	}
+	if cfg.Health != nil {
+		return nil, runtimeError("service mode does not compose with HealthPolicy " +
+			"(the open-system drive loop has no fencing admission on its delivery path)")
 	}
 	if cfg.Locality != nil {
 		return nil, runtimeError("service mode does not compose with LocalityPolicy")

@@ -7,6 +7,7 @@ import (
 
 	"plbhec/internal/cluster"
 	"plbhec/internal/device"
+	"plbhec/internal/health"
 	"plbhec/internal/residency"
 	"plbhec/internal/stats"
 	"plbhec/internal/telemetry"
@@ -61,6 +62,36 @@ type Session struct {
 	// inflightPU counts blocks currently in flight per unit; requeueing
 	// targets the least-loaded survivor.
 	inflightPU []int
+
+	// health, when non-nil, enables the heartbeat/membership machinery:
+	// periodic worker heartbeats, a failure detector over their arrivals,
+	// suspicion-driven requeueing, and lease-fenced exactly-once delivery.
+	// Always a normalized copy (see HealthPolicy.normalized); nil keeps the
+	// legacy oracle-driven behavior bit-for-bit, mirroring retry and spec.
+	health *HealthPolicy
+	// det is the failure detector over heartbeat arrivals and leases the
+	// block-ownership table with fencing tokens; both nil without health.
+	det    *health.Detector
+	leases *health.LeaseTable
+	// suspected marks units the detector currently suspects (excluded from
+	// placement until their heartbeats resume); hbGen counts heartbeats per
+	// unit so scheduled suspicion checks invalidate on a fresh arrival.
+	suspected []bool
+	hbGen     []uint64
+	// physDownAt is when each unit's device actually failed (-1: alive),
+	// the ground truth detection latency is measured against.
+	physDownAt []float64
+	// partUntil / hbLossUntil hold injected partition and heartbeat-loss
+	// horizons per unit (lazily allocated; +Inf: permanent).
+	partUntil   []float64
+	hbLossUntil []float64
+	// lost records blocks whose in-flight copy the engine already settled
+	// (device death, abandoned partition) so the later lease reassignment
+	// does not settle them twice.
+	lost []map[int]struct{}
+	// hbFn caches each unit's heartbeat closure for the simulator's
+	// self-rescheduling pump (one allocation per unit, not per beat).
+	hbFn []func()
 
 	// spec, when non-nil, enables the tail-tolerance machinery: watchdog
 	// deadlines per block and speculative backup copies for expired ones.
@@ -221,6 +252,9 @@ func (s *Session) Assign(pu *cluster.PU, units float64) int64 {
 			Kind: telemetry.EvTaskSubmit, Time: s.eng.now(),
 			PU: pu.ID, Seq: seq, Units: n,
 		})
+	}
+	if s.leases != nil {
+		s.leases.Grant(seq, pu.ID, lo, hi, 0)
 	}
 	s.eng.launch(pu, seq, lo, hi, s.masterFree, 0)
 	return n
@@ -430,6 +464,7 @@ func (s *Session) initCommon(total int64) {
 		s.slow = make([]bool, n)
 		s.slowCount = make([]int, n)
 	}
+	s.initHealth()
 	// Pre-size the record log so steady-state completions append without
 	// growth copies: a run issues a handful of probing rounds plus a few
 	// execution blocks and re-requests per unit. 64 records per unit (~5 KB

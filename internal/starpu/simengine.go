@@ -2,6 +2,7 @@ package starpu
 
 import (
 	"fmt"
+	"math"
 
 	"plbhec/internal/apps"
 	"plbhec/internal/cluster"
@@ -64,16 +65,33 @@ type simCompletion struct {
 	// the speculative copy, which never re-speculates.
 	twin   *simCompletion
 	backup bool
+	// token is the lease token this copy was issued under (0: health off).
+	// A completion firing with a stale token is fenced instead of delivered.
+	token uint64
 }
 
 // Fire implements sim.Handler.
 func (c *simCompletion) Fire() {
 	e := c.eng
+	// A partitioned unit's completion is held at the partition boundary:
+	// the device finished computing, but the result cannot reach the master
+	// until the partition heals (or never, if it is permanent).
+	if !c.aborted && e.session.partUntil != nil {
+		if until := e.session.partUntil[c.rec.PU]; until > e.eng.Now() {
+			if math.IsInf(until, 1) {
+				e.abandonPartitioned(c)
+			} else {
+				e.eng.Schedule(until, c)
+			}
+			return
+		}
+	}
 	rec := c.rec
 	aborted := c.aborted
 	twin := c.twin
 	deadline := c.deadline
 	backup := c.backup
+	token := c.token
 	if e.session.retry != nil {
 		e.dropOutstanding(c)
 	}
@@ -83,10 +101,22 @@ func (c *simCompletion) Fire() {
 	c.twin = nil
 	c.backup = false
 	c.deadline = 0
+	c.token = 0
 	c.gen++
 	e.freeComps = append(e.freeComps, c)
 	if aborted {
 		return // the block was requeued or lost its speculation race
+	}
+	if s := e.session; s.leases != nil && !s.admitCompletion(rec.PU, rec.Seq, token) {
+		// Fenced: the lease moved while this copy ran (suspicion-driven
+		// reassignment) and a fresh copy owns the block now. Discard the
+		// late result — this is the exactly-once guarantee under false
+		// suspicion. Settlement happened when the copy was revoked.
+		if twin != nil {
+			twin.twin = nil
+		}
+		s.noteFenced(rec.PU, rec.Seq, rec.Units)
+		return
 	}
 	if twin != nil {
 		// First completion wins: cancel the losing copy deterministically
@@ -118,6 +148,13 @@ type SimConfig struct {
 	// block and speculative backup copies for expired ones. See
 	// SpeculationPolicy; nil preserves the legacy behavior exactly.
 	Spec *SpeculationPolicy
+	// Health, when non-nil, enables heartbeat failure detection and
+	// lease-fenced block ownership: the master learns about failures from
+	// missing heartbeats (phi-accrual or deadline) instead of the engine's
+	// oracle, requeues on suspicion, and fences stale late completions. See
+	// HealthPolicy; nil preserves the legacy behavior exactly. Implies
+	// Retry (defaulted when nil).
+	Health *HealthPolicy
 	// Locality, when non-nil, enables data-residency tracking: shipped
 	// block inputs stay resident on their device (LRU-bounded by
 	// device.Spec.MemGB), transfers are charged only on a genuine miss, and
@@ -162,6 +199,7 @@ func newSimSession(clu *cluster.Cluster, profile device.KernelProfile, appName s
 		retry:     cfg.Retry.normalized(),
 		spec:      cfg.Spec.normalized(),
 		loc:       cfg.Locality.normalized(),
+		health:    cfg.Health.normalized(),
 	}
 	s.initCommon(totalUnits)
 	n := len(s.pus)
@@ -217,6 +255,7 @@ func newSimSession(clu *cluster.Cluster, profile device.KernelProfile, appName s
 		se.freeComps = append(se.freeComps, &simCompletion{eng: se})
 	}
 	s.eng = se
+	s.startHeartbeatPump()
 	return s
 }
 
@@ -309,6 +348,7 @@ func (e *simEngine) launch(pu *cluster.PU, seq int, lo, hi int64, earliest float
 	}
 	c.rec = rec
 	c.retries = retries
+	c.token = e.session.leaseTokenFor(pu.ID, seq)
 	if e.session.retry != nil {
 		e.outstanding = append(e.outstanding, c)
 	}
@@ -338,6 +378,9 @@ func (e *simEngine) watchdogFire(c *simCompletion, gen uint64) {
 		return
 	}
 	s := e.session
+	if s.leases != nil && !s.copyHoldsLease(c.rec.PU, c.rec.Seq, c.token) {
+		return // the lease moved on; never speculate a fenced copy
+	}
 	orig := c.rec.PU
 	s.noteExpiry(orig)
 	target := s.pickSpecTarget(orig, c.rec.Lo, c.rec.Hi)
@@ -395,6 +438,7 @@ func (e *simEngine) launchBackup(orig *simCompletion, pu *cluster.PU) bool {
 	c.backup = true
 	c.twin = orig
 	orig.twin = c
+	c.token = e.session.grantSpecLease(rec.Seq, pu.ID)
 	if e.session.retry != nil {
 		e.outstanding = append(e.outstanding, c)
 	}
@@ -441,10 +485,105 @@ func (e *simEngine) abortInFlight(pu int) {
 	}
 }
 
+// dropInFlight implements engine: the device died, so every lease-holding
+// copy executing on it is destroyed — its event becomes a recycle-only
+// no-op, its in-flight account settles, and (for primary slots) the block
+// is recorded lost so the eventual suspicion- or recovery-driven
+// reassignment knows the copy is already settled. Unlike abortInFlight,
+// nothing is requeued here: under a HealthPolicy only the failure detector
+// (or a recovery) moves blocks. Copies whose lease already moved (stale
+// token) were settled at revocation and are skipped.
+func (e *simEngine) dropInFlight(pu int) {
+	s := e.session
+	now := e.eng.Now()
+	for _, c := range e.outstanding {
+		if c.aborted || c.rec.PU != pu || c.rec.ExecEnd <= now {
+			continue
+		}
+		if !s.copyHoldsLease(pu, c.rec.Seq, c.token) {
+			continue
+		}
+		c.aborted = true
+		if t := c.twin; t != nil {
+			c.twin, t.twin = nil, nil
+		}
+		s.inflightPU[pu]--
+		if l := s.leases.Get(c.rec.Seq); l != nil && l.Owner == pu {
+			s.markLost(pu, c.rec.Seq)
+		}
+	}
+}
+
+// revokeCopies implements engine: the lease of seq moved off pu, so any
+// still-live copy there is detached — twin links severed so the surviving
+// copy completes solo, in-flight account settled now (the fenced delivery
+// settles nothing). The copy itself keeps running; when it fires, its stale
+// token sends it down the fencing path.
+func (e *simEngine) revokeCopies(pu, seq int) int {
+	detached := 0
+	for _, c := range e.outstanding {
+		if c.aborted || c.rec.PU != pu || c.rec.Seq != seq {
+			continue
+		}
+		if t := c.twin; t != nil {
+			c.twin, t.twin = nil, nil
+		}
+		e.session.inflightPU[pu]--
+		detached++
+	}
+	return detached
+}
+
+// abandonPartitioned handles a completion stuck behind a permanent
+// partition: the result will never reach the master, so the copy is
+// destroyed. A lease-holding copy settles and records the block lost —
+// suspicion then relaunches it elsewhere; without health state the block is
+// requeued directly (or the run fails when it cannot be).
+func (e *simEngine) abandonPartitioned(c *simCompletion) {
+	s := e.session
+	pu, seq := c.rec.PU, c.rec.Seq
+	lo, hi, retries := c.rec.Lo, c.rec.Hi, c.retries
+	held := s.leases != nil && s.copyHoldsLease(pu, seq, c.token)
+	if t := c.twin; t != nil {
+		c.twin, t.twin = nil, nil
+	}
+	if s.retry != nil {
+		e.dropOutstanding(c)
+	}
+	c.aborted = false
+	c.twin = nil
+	c.backup = false
+	c.deadline = 0
+	c.token = 0
+	c.gen++
+	e.freeComps = append(e.freeComps, c)
+	if s.leases != nil {
+		if held {
+			s.inflightPU[pu]--
+			if l := s.leases.Get(seq); l != nil && l.Owner == pu {
+				s.markLost(pu, seq)
+			}
+		}
+		return // the failure detector (or a recovery) moves the block
+	}
+	if s.retry != nil {
+		s.requeueBlock(pu, seq, lo, hi, retries)
+		return
+	}
+	s.fail(fmt.Errorf("starpu: block %d (%d units) stranded behind a permanent partition on %s: %w",
+		seq, hi-lo, s.pus[pu].Name(), ErrFailedDevice))
+}
+
 // relaunchAfter implements engine: the requeued block re-enters launch on
-// its new unit after the backoff delay.
+// its new unit after the backoff delay. Under a HealthPolicy the closure
+// re-checks ownership at fire time: if the lease moved again during the
+// backoff (the target was itself suspected), the newer copy owns the block
+// and this relaunch stands down.
 func (e *simEngine) relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int) {
 	e.eng.At(e.eng.Now()+delay, func() {
+		if s := e.session; s.leases != nil && s.leases.TokenFor(seq, pu.ID) == 0 {
+			return
+		}
 		e.launch(pu, seq, lo, hi, 0, retries)
 	})
 }

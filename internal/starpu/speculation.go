@@ -131,7 +131,8 @@ func (s *Session) pickSpecTarget(exclude int, lo, hi int64) int {
 	best := -1
 	var bestMiss float64
 	for i, pu := range s.pus {
-		if i == exclude || s.blacklist[i] || s.slow[i] || pu.Dev.Failed() {
+		if i == exclude || s.blacklist[i] || s.slow[i] || pu.Dev.Failed() ||
+			(s.suspected != nil && s.suspected[i]) {
 			continue
 		}
 		var miss float64

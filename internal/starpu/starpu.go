@@ -246,6 +246,25 @@ type PUResilience struct {
 	// soft-blacklisted as a straggler (excluded from backup and requeue
 	// targeting until it completes a block within deadline).
 	SlowBlacklisted bool
+	// Suspicions counts failure-detector threshold crossings against the
+	// unit; FalseSuspects is the subset raised while the unit's device was
+	// actually alive (partition, heartbeat loss). Zero without a
+	// HealthPolicy.
+	Suspicions, FalseSuspects int64
+	// Rejoins counts suspicions lifted by a resumed heartbeat stream.
+	Rejoins int64
+	// FencedCompletions counts late completions from this unit discarded by
+	// lease fencing after the block was reassigned (the exactly-once cost of
+	// a suspicion that fired on a still-computing unit).
+	FencedCompletions int64
+	// BlacklistLifts counts blacklist exclusions lifted on the unit by a
+	// recovery or a heartbeat rejoin.
+	BlacklistLifts int64
+	// DetectionSeconds accumulates, over true-positive suspicions, the lag
+	// between the device actually dying and the detector noticing — the
+	// detection latency a heartbeat detector pays where the oracle-driven
+	// retry machinery reacts instantly.
+	DetectionSeconds float64
 }
 
 // OverheadSpan is one master-side scheduling-computation interval charged
@@ -361,6 +380,20 @@ type engine interface {
 	// policy is attached; engines that cannot interrupt work (live) treat
 	// it as a no-op and detect the failure at pickup instead.
 	abortInFlight(pu int)
+	// dropInFlight destroys the lease-holding copies in flight on a unit
+	// whose device just died, settling their in-flight accounting and
+	// marking the blocks lost — without requeueing them: under a
+	// HealthPolicy only the failure detector (or a recovery) may move
+	// blocks, so detection latency stays a real, measurable cost. Engines
+	// that cannot interrupt work (live) treat it as a no-op.
+	dropInFlight(pu int)
+	// revokeCopies detaches every still-live copy of block seq on pu from
+	// its delivery bookkeeping after the lease moved: the copy keeps
+	// running, but its eventual completion must surface only through the
+	// fencing path (speculation twins unlinked, watch state adjusted). Each
+	// detached copy's per-unit in-flight account is settled here — the
+	// fenced delivery settles nothing. Returns how many copies it detached.
+	revokeCopies(pu, seq int) int
 	// relaunchAfter re-launches a requeued block on pu after delay engine
 	// seconds.
 	relaunchAfter(delay float64, pu *cluster.PU, seq int, lo, hi int64, retries int)

@@ -52,6 +52,9 @@ type RunMetrics struct {
 	handleHits, handleMisses   *Counter
 	handleEvictions            *Counter
 	admitted, shed, deferred   *Counter
+	suspicions, falseSuspects  *Counter
+	rejoins, fenced            *Counter
+	blacklistLifts             *Counter
 
 	lastShares []float64
 	phaseCodes map[string]int
@@ -107,6 +110,11 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	reg.Help("plbhec_admitted_total", "Service-mode requests admitted for immediate dispatch")
 	reg.Help("plbhec_shed_total", "Service-mode requests rejected by admission control")
 	reg.Help("plbhec_deferred_total", "Service-mode requests parked in the wait queue")
+	reg.Help("plbhec_suspicions_total", "Failure-detector suspicion threshold crossings")
+	reg.Help("plbhec_false_suspicions_total", "Suspicions raised against units that were actually alive")
+	reg.Help("plbhec_rejoins_total", "Suspected units heard from again and restored as placement targets")
+	reg.Help("plbhec_fenced_completions_total", "Late completions discarded by lease fencing")
+	reg.Help("plbhec_blacklist_lifts_total", "Blacklisted units restored as requeue targets")
 
 	n := len(puNames)
 	m.submitted = make([]*Counter, n)
@@ -160,6 +168,11 @@ func NewRunMetrics(reg *Registry, puNames []string) *RunMetrics {
 	m.admitted = reg.Counter("plbhec_admitted_total")
 	m.shed = reg.Counter("plbhec_shed_total")
 	m.deferred = reg.Counter("plbhec_deferred_total")
+	m.suspicions = reg.Counter("plbhec_suspicions_total")
+	m.falseSuspects = reg.Counter("plbhec_false_suspicions_total")
+	m.rejoins = reg.Counter("plbhec_rejoins_total")
+	m.fenced = reg.Counter("plbhec_fenced_completions_total")
+	m.blacklistLifts = reg.Counter("plbhec_blacklist_lifts_total")
 	return m
 }
 
@@ -304,5 +317,16 @@ func (m *RunMetrics) Consume(ev Event) {
 		case "defer":
 			m.deferred.Inc()
 		}
+	case EvSuspect:
+		m.suspicions.Inc()
+		if ev.Value != 0 {
+			m.falseSuspects.Inc()
+		}
+	case EvRejoin:
+		m.rejoins.Inc()
+	case EvFence:
+		m.fenced.Inc()
+	case EvBlacklistLift:
+		m.blacklistLifts.Inc()
 	}
 }

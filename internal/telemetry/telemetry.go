@@ -94,6 +94,20 @@ const (
 	// request's work units), Value (the owning app's index), PU = -1,
 	// Seq = -1 (the block sequence is not assigned until dispatch).
 	EvAdmission
+	// EvSuspect marks the failure detector crossing its suspicion threshold
+	// for a unit: Time, PU, Name (unit name), Value (1 when the suspicion is
+	// false — the unit's device is actually alive — 0 otherwise).
+	EvSuspect
+	// EvRejoin marks a suspected unit heard from again and restored as a
+	// placement target: Time, PU, Name (unit name).
+	EvRejoin
+	// EvFence marks a late completion discarded by lease fencing — a stale
+	// copy of a reassigned block delivering after the master moved on:
+	// Time, PU (the stale copy's unit), Seq, Units.
+	EvFence
+	// EvBlacklistLift marks a blacklisted unit restored as a requeue target
+	// (recovery or heartbeat rejoin): Time, PU, Name (unit name).
+	EvBlacklistLift
 )
 
 // String names the kind for sinks and debug output.
@@ -137,6 +151,14 @@ func (k EventKind) String() string {
 		return "residency"
 	case EvAdmission:
 		return "admission"
+	case EvSuspect:
+		return "suspect"
+	case EvRejoin:
+		return "rejoin"
+	case EvFence:
+		return "fence"
+	case EvBlacklistLift:
+		return "blacklist-lift"
 	}
 	return "unknown"
 }
