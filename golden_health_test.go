@@ -31,7 +31,7 @@ import (
 // (suspicions, false suspicions, rejoins, fenced completions, requeues,
 // detection lag) on amd64. Any change to heartbeat scheduling, detector
 // math, lease fencing, or requeue ordering shows up here.
-const goldenHealthSweepHash = "fed72bfff6c0c42a"
+const goldenHealthSweepHash = "86f96e467d83cb4a"
 
 // withRunMetrics attaches a telemetry hub with a RunMetrics sink to the
 // session and returns the registry for counter assertions.

@@ -28,9 +28,12 @@ type Config struct {
 	Kind            DetectorKind
 	IntervalSeconds float64 // expected heartbeat period
 	PhiThreshold    float64 // suspicion level for PhiAccrual
-	TimeoutSeconds  float64 // fixed silence for Deadline
-	WindowSize      int     // inter-arrival samples kept per unit
-	MinSamples      int     // arrivals before the fitted window is trusted
+	// TimeoutSeconds is the fixed silence for Deadline, and the bootstrap
+	// timeout PhiAccrual applies while a unit's window has fewer than
+	// MinSamples intervals.
+	TimeoutSeconds float64
+	WindowSize     int // inter-arrival samples kept per unit
+	MinSamples     int // arrivals before the fitted window is trusted
 }
 
 // minStd returns the floor applied to the window's standard deviation. A
@@ -97,8 +100,18 @@ func (d *Detector) Heartbeat(u int, t float64) {
 // LastSeen returns the time of unit u's most recent heartbeat.
 func (d *Detector) LastSeen(u int) float64 { return d.units[u].last }
 
+// bootstrapping reports whether unit u's window is still too thin to trust:
+// until MinSamples intervals arrive, the phi rules fall back to the fixed
+// TimeoutSeconds silence — the behavior HealthPolicy documents — instead of
+// the fitted distribution.
+func (d *Detector) bootstrapping(u int) bool {
+	return d.units[u].n < d.cfg.MinSamples
+}
+
 // stats returns the window's mean and (floored) standard deviation, falling
-// back to the configured interval until MinSamples arrivals have been seen.
+// back to the configured interval until MinSamples arrivals have been seen
+// (the phi paths check bootstrapping first, so the fallback is only a guard
+// against division by a zero-sample window).
 func (d *Detector) stats(u int) (mean, std float64) {
 	s := &d.units[u]
 	if s.n < d.cfg.MinSamples {
@@ -118,7 +131,7 @@ func (d *Detector) stats(u int) (mean, std float64) {
 // can treat both kinds uniformly.
 func (d *Detector) Phi(u int, now float64) float64 {
 	silence := now - d.units[u].last
-	if d.cfg.Kind == Deadline {
+	if d.cfg.Kind == Deadline || d.bootstrapping(u) {
 		if silence >= d.cfg.TimeoutSeconds {
 			return math.Inf(1)
 		}
@@ -135,7 +148,7 @@ func (d *Detector) Phi(u int, now float64) float64 {
 // SuspectAfter returns the silence (seconds since the last heartbeat) at
 // which unit u crosses the suspicion threshold under the current window.
 func (d *Detector) SuspectAfter(u int) float64 {
-	if d.cfg.Kind == Deadline {
+	if d.cfg.Kind == Deadline || d.bootstrapping(u) {
 		return d.cfg.TimeoutSeconds
 	}
 	mean, std := d.stats(u)

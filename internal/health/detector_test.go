@@ -52,6 +52,38 @@ func TestSuspectAtInvertsPhi(t *testing.T) {
 	}
 }
 
+// TestPhiBootstrapUsesTimeout: before MinSamples intervals have arrived the
+// phi detector must apply the fixed TimeoutSeconds silence — the documented
+// bootstrap behavior — not the thin window's fitted fallback, which with the
+// defaults would cross at ~interval + 5.6·minStd and false-suspect units
+// during startup far earlier than the policy promises.
+func TestPhiBootstrapUsesTimeout(t *testing.T) {
+	cfg := phiCfg()
+	d := NewDetector(cfg, 1)
+	// Two heartbeats = one interval sample, below MinSamples = 3.
+	d.Heartbeat(0, 0.05)
+	d.Heartbeat(0, 0.10)
+	if got := d.SuspectAfter(0); got != cfg.TimeoutSeconds {
+		t.Fatalf("bootstrap SuspectAfter = %g, want TimeoutSeconds %g", got, cfg.TimeoutSeconds)
+	}
+	if d.Suspect(0, 0.10+cfg.TimeoutSeconds-1e-9) {
+		t.Fatal("suspect before the bootstrap timeout")
+	}
+	if !d.Suspect(0, 0.10+cfg.TimeoutSeconds) {
+		t.Fatal("not suspect at the bootstrap timeout")
+	}
+	if phi := d.Phi(0, 0.10+cfg.TimeoutSeconds/2); phi != 0 {
+		t.Fatalf("bootstrap phi before timeout = %g, want 0", phi)
+	}
+	// One more interval reaches MinSamples: the fitted window takes over and
+	// the periodic stream's crossing moves below the bootstrap timeout.
+	d.Heartbeat(0, 0.15)
+	d.Heartbeat(0, 0.20)
+	if got := d.SuspectAfter(0); got >= cfg.TimeoutSeconds {
+		t.Fatalf("fitted SuspectAfter = %g, want below bootstrap timeout %g", got, cfg.TimeoutSeconds)
+	}
+}
+
 // TestPhiAdaptsToJitter: a jittery arrival history must push the crossing
 // time further out than a perfectly periodic one — the adaptivity that
 // distinguishes phi-accrual from a fixed deadline.
@@ -143,5 +175,38 @@ func TestInvNormTail(t *testing.T) {
 	}
 	if !math.IsInf(invNormTail(0), 1) {
 		t.Error("invNormTail(0) must be +Inf")
+	}
+}
+
+// TestInvNormTailDeepTail: probabilities below ~1e-16 — phi thresholds above
+// ~16.5 — round 1-p to exactly 1, so the mirrored lower-quantile evaluation
+// used to produce sqrt(-2·log(0))/… = NaN and the detector silently never
+// suspected. The deep upper tail must stay finite, positive, and monotone
+// all the way down.
+func TestInvNormTailDeepTail(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{1e-12, 1e-16, 1e-20, 1e-40, 1e-100, 1e-300} {
+		z := invNormTail(p)
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			t.Fatalf("invNormTail(%g) = %g, want finite", p, z)
+		}
+		if z <= prev {
+			t.Fatalf("invNormTail(%g) = %g not above invNormTail at the larger p (%g)", p, z, prev)
+		}
+		prev = z
+	}
+	// A detector with an extreme threshold must still reach suspicion.
+	cfg := phiCfg()
+	cfg.PhiThreshold = 20
+	d := NewDetector(cfg, 1)
+	for i := 1; i <= 10; i++ {
+		d.Heartbeat(0, float64(i)*0.05)
+	}
+	at := d.SuspectAt(0)
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		t.Fatalf("SuspectAt = %g at threshold 20, want finite", at)
+	}
+	if !d.Suspect(0, at+1e-9) {
+		t.Fatal("detector never suspects at a high threshold")
 	}
 }

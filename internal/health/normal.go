@@ -21,9 +21,6 @@ func invNormTail(p float64) float64 {
 	if p >= 1 {
 		return math.Inf(-1)
 	}
-	// Acklam computes the lower-quantile z(q) with P(X < z) = q; the upper
-	// tail is its mirror image.
-	q := 1 - p
 	const (
 		a1 = -3.969683028665376e+01
 		a2 = 2.209460984245205e+02
@@ -53,19 +50,26 @@ func invNormTail(p float64) float64 {
 		plow  = 0.02425
 		phigh = 1 - plow
 	)
+	// Acklam computes the lower-quantile z(q) with P(X < z) = q; the upper
+	// tail is its mirror image, z(p) = -z(q) with q = 1-p. The deep upper
+	// tail is evaluated directly from p: forming 1-p first would round to
+	// exactly 1 for p below ~1e-16, and the mirror's sqrt(-2*log(1-q))
+	// would then evaluate Inf/Inf = NaN — a detector with a very high
+	// PhiThreshold would silently never suspect.
 	switch {
-	case q < plow:
-		u := math.Sqrt(-2 * math.Log(q))
-		return (((((c1*u+c2)*u+c3)*u+c4)*u+c5)*u + c6) /
+	case p < plow:
+		u := math.Sqrt(-2 * math.Log(p))
+		return -(((((c1*u+c2)*u+c3)*u+c4)*u+c5)*u + c6) /
 			((((d1*u+d2)*u+d3)*u+d4)*u + 1)
-	case q <= phigh:
-		u := q - 0.5
+	case p <= phigh:
+		u := (1 - p) - 0.5
 		r := u * u
 		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * u /
 			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
 	default:
-		u := math.Sqrt(-2 * math.Log(1-q))
-		return -(((((c1*u+c2)*u+c3)*u+c4)*u+c5)*u + c6) /
+		// p > phigh means q = 1-p < plow, safely above zero since p < 1.
+		u := math.Sqrt(-2 * math.Log(1-p))
+		return (((((c1*u+c2)*u+c3)*u+c4)*u+c5)*u + c6) /
 			((((d1*u+d2)*u+d3)*u+d4)*u + 1)
 	}
 }

@@ -393,8 +393,15 @@ func (s *Session) InjectHeartbeatLoss(id int, until float64) {
 }
 
 // healthSuspectDeadline returns the earliest pending suspicion crossing
-// among unsuspected units, for the live engine's unified timer.
+// among unsuspected units, for the live engine's unified timer. Once the
+// suspicion machinery stands down — run failed or everything delivered —
+// it reports no deadline: fireSuspicions no-ops and heartbeats are dropped
+// in that state, so a frozen, already-past crossing here would spin the
+// drive loop hot instead of letting it block on in-flight completions.
 func (s *Session) healthSuspectDeadline() (float64, bool) {
+	if !s.healthActive() {
+		return 0, false
+	}
 	best, ok := math.Inf(1), false
 	for id := range s.pus {
 		if s.suspected[id] {

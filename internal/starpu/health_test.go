@@ -369,6 +369,61 @@ func TestHealthLiveFalseSuspicionFences(t *testing.T) {
 	checkHealthMetricsAgree(t, rep, tel.Registry())
 }
 
+// TestRevokeCopiesSettlesEachCopyOnce: a revoked copy stays outstanding
+// (un-aborted, stale token) until its completion fires. If the lease is
+// re-granted to the same unit after a rejoin and that unit is suspected
+// again, the second revocation wave must settle only the new copy — the
+// stale one was settled at the first revocation, and decrementing
+// inflightPU for it again would skew load-based placement negative.
+func TestRevokeCopiesSettlesEachCopyOnce(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 1, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 256})
+	sess := NewSimSession(clu, app, SimConfig{Health: DefaultHealthPolicy()})
+	e := sess.eng.(*simEngine)
+	const pu, seq = 0, 5
+	stale := &simCompletion{eng: e, rec: TaskRecord{PU: pu, Seq: seq}, token: 1}
+	e.outstanding = append(e.outstanding, stale)
+	sess.inflightPU[pu] = 1
+	if got := e.revokeCopies(pu, seq); got != 1 {
+		t.Fatalf("first revocation detached %d copies, want 1", got)
+	}
+	if sess.inflightPU[pu] != 0 {
+		t.Fatalf("inflightPU = %d after first revocation, want 0", sess.inflightPU[pu])
+	}
+	// The lease is re-granted to the unit and a fresh copy launches while the
+	// stale copy is still in flight; a second suspicion revokes again.
+	fresh := &simCompletion{eng: e, rec: TaskRecord{PU: pu, Seq: seq}, token: 3}
+	e.outstanding = append(e.outstanding, fresh)
+	sess.inflightPU[pu] = 1
+	if got := e.revokeCopies(pu, seq); got != 1 {
+		t.Fatalf("second revocation detached %d copies, want 1 (stale copy already settled)", got)
+	}
+	if sess.inflightPU[pu] != 0 {
+		t.Fatalf("inflightPU = %d after second revocation, want 0 (double-settled)", sess.inflightPU[pu])
+	}
+	if !stale.revoked || !fresh.revoked {
+		t.Fatal("both copies must carry the revoked mark")
+	}
+}
+
+// TestHealthSuspectDeadlineStandsDownAfterFailure: once the run fails,
+// fireSuspicions no-ops and heartbeats are dropped, so healthSuspectDeadline
+// must report no pending crossing — a frozen, already-past deadline would
+// spin the live drive loop hot (wait <= 0 → fireTimers → continue) instead
+// of letting it block on the in-flight completions it still has to drain.
+func TestHealthSuspectDeadlineStandsDownAfterFailure(t *testing.T) {
+	clu := cluster.TableI(cluster.Config{Machines: 1, Seed: 1})
+	app := apps.NewMatMul(apps.MatMulConfig{N: 256})
+	sess := NewSimSession(clu, app, SimConfig{Health: DefaultHealthPolicy()})
+	if _, ok := sess.healthSuspectDeadline(); !ok {
+		t.Fatal("no suspicion crossing armed on a healthy run")
+	}
+	sess.fail(ErrFailedDevice)
+	if at, ok := sess.healthSuspectDeadline(); ok {
+		t.Fatalf("suspicion crossing %g still armed after run failure", at)
+	}
+}
+
 // TestHealthPolicyNormalization: zero-value fields pick up the documented
 // defaults; a nil policy stays nil (health off).
 func TestHealthPolicyNormalization(t *testing.T) {

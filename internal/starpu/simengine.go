@@ -68,6 +68,11 @@ type simCompletion struct {
 	// token is the lease token this copy was issued under (0: health off).
 	// A completion firing with a stale token is fenced instead of delivered.
 	token uint64
+	// revoked marks a copy whose lease already moved off its unit: its
+	// in-flight account was settled at that revocation, so a later
+	// revocation wave for the same (pu, seq) — the lease re-granted to the
+	// unit after a rejoin, then suspected again — must not settle it twice.
+	revoked bool
 }
 
 // Fire implements sim.Handler.
@@ -102,6 +107,7 @@ func (c *simCompletion) Fire() {
 	c.backup = false
 	c.deadline = 0
 	c.token = 0
+	c.revoked = false
 	c.gen++
 	e.freeComps = append(e.freeComps, c)
 	if aborted {
@@ -522,9 +528,10 @@ func (e *simEngine) dropInFlight(pu int) {
 func (e *simEngine) revokeCopies(pu, seq int) int {
 	detached := 0
 	for _, c := range e.outstanding {
-		if c.aborted || c.rec.PU != pu || c.rec.Seq != seq {
+		if c.aborted || c.revoked || c.rec.PU != pu || c.rec.Seq != seq {
 			continue
 		}
+		c.revoked = true
 		if t := c.twin; t != nil {
 			c.twin, t.twin = nil, nil
 		}
@@ -555,6 +562,7 @@ func (e *simEngine) abandonPartitioned(c *simCompletion) {
 	c.backup = false
 	c.deadline = 0
 	c.token = 0
+	c.revoked = false
 	c.gen++
 	e.freeComps = append(e.freeComps, c)
 	if s.leases != nil {
